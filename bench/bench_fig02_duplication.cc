@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 2 — the percentage of duplicate lines written to memory.
+ *
+ * For each of the 20 applications, replays the write-back stream
+ * against a reference memory image and reports the fraction of writes
+ * whose content already exists in memory, split into zero lines and
+ * non-zero duplicates.
+ *
+ * Paper's shape: duplicates range 18.6% (vips) to 98.4% (cactusADM)
+ * with a 58% mean; zero lines average ~16% and dominate only sjeng.
+ */
+
+#include <cstdio>
+
+#include "common/table_printer.hh"
+#include "sim/experiment.hh"
+#include "trace/app_catalog.hh"
+#include "trace/workload_stats.hh"
+
+using namespace dewrite;
+
+int
+main()
+{
+    std::printf("Figure 2: duplicate lines written to NVMM\n\n");
+
+    TablePrinter table({ "app", "suite", "dup lines", "zero lines",
+                         "non-zero dup" });
+    double dup_sum = 0.0;
+    double zero_sum = 0.0;
+    for (const AppProfile &app : appCatalog()) {
+        SyntheticWorkload trace(app, appSeed(app));
+        const WorkloadStats stats =
+            measureWorkload(trace, experimentEvents());
+        dup_sum += stats.dupFraction();
+        zero_sum += stats.zeroFraction();
+        table.addRow({ app.name, app.suite,
+                       TablePrinter::percent(stats.dupFraction()),
+                       TablePrinter::percent(stats.zeroFraction()),
+                       TablePrinter::percent(stats.dupFraction() -
+                                             stats.zeroFraction()) });
+    }
+    const double n = static_cast<double>(appCatalog().size());
+    table.addRow({ "AVERAGE", "-", TablePrinter::percent(dup_sum / n),
+                   TablePrinter::percent(zero_sum / n),
+                   TablePrinter::percent((dup_sum - zero_sum) / n) });
+    table.print();
+
+    std::printf("\npaper: dup 18.6%%..98.4%%, mean 58%%; "
+                "zero mean ~16%%, sjeng zero-dominated\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 4 — duplication-state prediction accuracy.
+ *
+ * Replays each application's ground-truth duplicate states through
+ * history windows of one and three writes (plus a small sweep), as the
+ * paper's predictor would observe them.
+ *
+ * Paper's shape: ~92.1% mean accuracy with one bit of history, rising
+ * to ~93.6% with three; wider windows give negligible or negative
+ * returns.
+ */
+
+#include <cstdio>
+
+#include <unordered_map>
+
+#include "common/table_printer.hh"
+#include "dedup/predictor.hh"
+#include "sim/experiment.hh"
+#include "trace/app_catalog.hh"
+#include "trace/trace_gen.hh"
+
+using namespace dewrite;
+
+namespace {
+
+/** Ground-truth duplicate state of each write, in stream order. */
+std::vector<bool>
+dupStates(const AppProfile &app, std::uint64_t events)
+{
+    SyntheticWorkload trace(app, appSeed(app));
+    std::unordered_map<LineAddr, Line> image;
+    std::unordered_map<Line, std::uint64_t, LineHash> live;
+    std::vector<bool> states;
+
+    MemEvent event;
+    for (std::uint64_t i = 0; i < events && trace.next(event); ++i) {
+        if (!event.isWrite)
+            continue;
+        states.push_back(live.find(event.data) != live.end());
+        auto old = image.find(event.addr);
+        if (old != image.end()) {
+            auto it = live.find(old->second);
+            if (it != live.end() && --it->second == 0)
+                live.erase(it);
+        }
+        image[event.addr] = event.data;
+        ++live[event.data];
+    }
+    return states;
+}
+
+double
+accuracy(const std::vector<bool> &states, unsigned window)
+{
+    DupPredictor predictor(window);
+    for (bool state : states)
+        predictor.recordAndScore(state);
+    return predictor.accuracy();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 4: prediction accuracy vs history window\n\n");
+
+    const unsigned windows[] = { 1, 3, 5, 8 };
+    TablePrinter table({ "app", "k=1", "k=3", "k=5", "k=8" });
+    double sums[4] = {};
+    for (const AppProfile &app : appCatalog()) {
+        const std::vector<bool> states =
+            dupStates(app, experimentEvents());
+        std::vector<std::string> row{ app.name };
+        for (std::size_t w = 0; w < 4; ++w) {
+            const double acc = accuracy(states, windows[w]);
+            sums[w] += acc;
+            row.push_back(TablePrinter::percent(acc));
+        }
+        table.addRow(std::move(row));
+    }
+    const double n = static_cast<double>(appCatalog().size());
+    table.addRow({ "AVERAGE", TablePrinter::percent(sums[0] / n),
+                   TablePrinter::percent(sums[1] / n),
+                   TablePrinter::percent(sums[2] / n),
+                   TablePrinter::percent(sums[3] / n) });
+    table.print();
+
+    std::printf("\npaper: k=1 ~92.1%%, k=3 ~93.6%%, wider windows give "
+                "negligible gains\n");
+    return 0;
+}

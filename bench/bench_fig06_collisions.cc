@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 6 — CRC-32 hash collision probability.
+ *
+ * Offline ground truth: fingerprints every *distinct* content each
+ * application writes and counts contents whose CRC-32 collides with a
+ * different content. Also reports the collisions the live engine
+ * actually hit during detection (fingerprint matched, byte comparison
+ * failed) — the events the confirm-by-read step exists to catch.
+ *
+ * Paper's shape: collision probability below 0.01% on average —
+ * collisions exist (hence the confirm-by-read) but are vanishingly
+ * rare.
+ */
+
+#include <cstdio>
+
+#include <unordered_map>
+
+#include "common/crc32.hh"
+#include "common/table_printer.hh"
+#include "sim/experiment.hh"
+#include "trace/app_catalog.hh"
+#include "trace/trace_gen.hh"
+
+using namespace dewrite;
+
+int
+main()
+{
+    std::printf("Figure 6: CRC-32 collision probability\n\n");
+
+    SystemConfig config;
+    TablePrinter table({ "app", "distinct contents", "colliding",
+                         "collision prob", "detect mismatches" });
+    double prob_sum = 0.0;
+    for (const AppProfile &app : appCatalog()) {
+        // Offline scan of the write-back stream.
+        SyntheticWorkload trace(app, appSeed(app));
+        std::unordered_map<std::uint32_t, std::uint64_t> by_crc;
+        std::unordered_map<std::uint64_t, bool> seen;
+        std::uint64_t distinct = 0, colliding = 0;
+        MemEvent event;
+        for (std::uint64_t i = 0; i < experimentEvents() &&
+                                  trace.next(event);
+             ++i) {
+            if (!event.isWrite)
+                continue;
+            const std::uint64_t digest = event.data.contentDigest();
+            if (seen.emplace(digest, true).second) {
+                ++distinct;
+                const std::uint32_t hash = crc32(event.data);
+                auto [it, fresh] = by_crc.emplace(hash, digest);
+                if (!fresh && it->second != digest)
+                    colliding += 2;
+            }
+        }
+        const double probability =
+            distinct ? static_cast<double>(colliding) / distinct : 0.0;
+        prob_sum += probability;
+
+        // What the live engine saw.
+        const ExperimentResult r =
+            runApp(app, config, dewriteScheme(DedupMode::Predicted));
+
+        table.addRow({ app.name, TablePrinter::num(distinct, 0),
+                       TablePrinter::num(colliding, 0),
+                       TablePrinter::percent(probability, 4),
+                       TablePrinter::num(
+                           r.stats.get("collision_mismatches"), 0) });
+    }
+    table.addRow({ "AVERAGE", "-", "-",
+                   TablePrinter::percent(
+                       prob_sum / static_cast<double>(appCatalog().size()),
+                       4),
+                   "-" });
+    table.print();
+
+    std::printf("\npaper: collision probability < 0.01%% on average\n");
+    return 0;
+}

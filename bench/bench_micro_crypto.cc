@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Micro-benchmarks of the functional kernels (google-benchmark).
+ *
+ * These measure host-side simulation throughput of the AES, CME, and
+ * CRC implementations — relevant to how fast experiments run, not to
+ * the modelled hardware latencies (those are constants from
+ * TimingConfig).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/crc32.hh"
+#include "common/rng.hh"
+#include "crypto/aes128.hh"
+#include "crypto/counter_mode.hh"
+#include "crypto/direct_encrypt.hh"
+#include "sim/system.hh"
+
+namespace {
+
+using namespace dewrite;
+
+void
+BM_AesEncryptBlock(benchmark::State &state)
+{
+    const Aes128 aes(defaultAesKey());
+    AesBlock block{};
+    for (auto _ : state) {
+        block = aes.encryptBlock(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void
+BM_AesEncryptBlockReference(benchmark::State &state)
+{
+    const Aes128 aes(defaultAesKey());
+    AesBlock block{};
+    for (auto _ : state) {
+        block = aes.encryptBlockReference(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesEncryptBlockReference);
+
+void
+BM_CmeEncryptLine(benchmark::State &state)
+{
+    const CounterModeEngine cme(defaultAesKey());
+    Rng rng(1);
+    const Line line = Line::random(rng);
+    std::uint64_t counter = 0;
+    for (auto _ : state) {
+        Line ct = cme.encryptLine(line, 7, ++counter);
+        benchmark::DoNotOptimize(ct);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineSize);
+}
+BENCHMARK(BM_CmeEncryptLine);
+
+void
+BM_DirectEncryptLine(benchmark::State &state)
+{
+    const DirectEncryptEngine engine(defaultAesKey());
+    Rng rng(2);
+    const Line line = Line::random(rng);
+    for (auto _ : state) {
+        Line ct = engine.encryptLine(line, 9);
+        benchmark::DoNotOptimize(ct);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineSize);
+}
+BENCHMARK(BM_DirectEncryptLine);
+
+void
+BM_Crc32Line(benchmark::State &state)
+{
+    Rng rng(3);
+    const Line line = Line::random(rng);
+    for (auto _ : state) {
+        std::uint32_t hash = crc32(line);
+        benchmark::DoNotOptimize(hash);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineSize);
+}
+BENCHMARK(BM_Crc32Line);
+
+void
+BM_LineCompare(benchmark::State &state)
+{
+    Rng rng(4);
+    const Line a = Line::random(rng);
+    const Line b = a;
+    for (auto _ : state) {
+        bool equal = a == b;
+        benchmark::DoNotOptimize(equal);
+    }
+}
+BENCHMARK(BM_LineCompare);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Metadata crash recovery (Section V) — an extension experiment.
+ *
+ * For three representative applications: run a workload, crash-damage
+ * the derived metadata (hash store + FSM, the structures whose
+ * writebacks are lazy), rebuild from the durable tables, and verify
+ * consistency. Also sweeps the modelled recovery scan time against
+ * memory size, and compares the NVM write amplification of the two
+ * Section V durability policies.
+ */
+
+#include <cstdio>
+
+#include "common/table_printer.hh"
+#include "controller/dewrite_controller.hh"
+#include "dedup/recovery.hh"
+#include "sim/experiment.hh"
+#include "trace/app_catalog.hh"
+
+using namespace dewrite;
+
+int
+main()
+{
+    std::printf("Metadata crash recovery (Section V extension)\n\n");
+
+    SystemConfig config;
+    config.memory.numLines = 1 << 18; // Keep audits brisk.
+
+    std::printf("(a) crash, rebuild, audit\n\n");
+    {
+        TablePrinter table({ "app", "records", "audit after crash",
+                             "rebuilt", "audit after rebuild",
+                             "scan time (ms)" });
+        for (const char *name : { "lbm", "gcc", "vips" }) {
+            DetailedExperiment detailed = runAppDetailed(
+                appByName(name), config,
+                dewriteScheme(DedupMode::Predicted),
+                experimentEvents() / 4, appSeed(appByName(name)));
+            auto &ctrl = dynamic_cast<DeWriteController &>(
+                detailed.system->controller());
+            // The engine is owned by the controller; recovery operates
+            // in place.
+            auto &engine = const_cast<DedupEngine &>(ctrl.engine());
+            RecoveryManager recovery(engine);
+
+            const std::size_t records = engine.hashStore().size();
+            recovery.simulateCrashDamage();
+            const AuditReport damaged = recovery.audit();
+            const RecoveryReport rebuilt = recovery.rebuild();
+            const AuditReport healed = recovery.audit();
+
+            table.addRow(
+                { name, TablePrinter::num(records, 0),
+                  damaged.consistent() ? "clean (?)" : "violations",
+                  TablePrinter::num(rebuilt.recordsRebuilt, 0),
+                  healed.consistent() ? "clean" : "VIOLATIONS",
+                  TablePrinter::num(
+                      static_cast<double>(rebuilt.estimatedScanTime) /
+                          kMilliSecond,
+                      2) });
+        }
+        table.print();
+    }
+
+    std::printf("\n(b) recovery scan time vs memory size\n\n");
+    {
+        TablePrinter table({ "memory", "metadata scanned",
+                             "scan time (ms)" });
+        for (std::uint64_t gib : { 1ULL, 4ULL, 16ULL }) {
+            SystemConfig swept;
+            swept.memory.numLines = gib * (1ULL << 30) / kLineSize;
+            // The scan estimate is structural; derive it the same way
+            // RecoveryManager does.
+            const std::uint64_t region_lines =
+                2 * ((swept.memory.numLines * 33 + kLineBits - 1) /
+                     kLineBits);
+            const Time scan = region_lines * swept.timing.nvmRead /
+                              swept.timing.numBanks;
+            table.addRow(
+                { TablePrinter::num(static_cast<double>(gib), 0) +
+                      " GiB",
+                  TablePrinter::num(
+                      static_cast<double>(region_lines) * kLineSize /
+                          (1 << 20),
+                      1) + " MiB",
+                  TablePrinter::num(
+                      static_cast<double>(scan) / kMilliSecond, 1) });
+        }
+        table.print();
+    }
+
+    std::printf("\n(c) durability policy write amplification\n\n");
+    {
+        TablePrinter table({ "app", "policy", "metadata NVM writes",
+                             "write lat (ns)" });
+        for (const char *name : { "lbm", "vips" }) {
+            for (MetadataWritePolicy policy :
+                 { MetadataWritePolicy::LazyBattery,
+                   MetadataWritePolicy::WriteThrough }) {
+                SystemConfig swept = config;
+                swept.memory.metadataWritePolicy = policy;
+                const ExperimentResult r = runApp(
+                    appByName(name), swept,
+                    dewriteScheme(DedupMode::Predicted),
+                    experimentEvents() / 4, appSeed(appByName(name)));
+                table.addRow(
+                    { name,
+                      policy == MetadataWritePolicy::LazyBattery
+                          ? "lazy (battery)"
+                          : "write-through",
+                      TablePrinter::num(
+                          r.stats.get("metadata_writebacks"), 0),
+                      TablePrinter::num(r.run.avgWriteLatencyNs, 1) });
+            }
+        }
+        table.print();
+    }
+
+    std::printf("\nThe derived metadata (hash store, FSM) rebuilds from "
+                "the durable tables in one scan; write-through trades "
+                "~an order of magnitude more metadata NVM writes for "
+                "battery-free durability.\n");
+    return 0;
+}

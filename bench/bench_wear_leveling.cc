@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Wear leveling × write reduction — an endurance extension experiment.
+ *
+ * The paper's lifetime argument is about writing *less*; Start-Gap
+ * wear leveling is the orthogonal standard for writing *evenly*. This
+ * bench quantifies both axes on a hot-spot workload: maximum per-line
+ * wear (the lifetime limiter under imperfect leveling) for the secure
+ * baseline and DeWrite, each with and without Start-Gap underneath.
+ */
+
+#include <cstdio>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "common/table_printer.hh"
+#include "nvm/start_gap.hh"
+#include "sim/experiment.hh"
+
+using namespace dewrite;
+
+namespace {
+
+constexpr std::uint64_t kLines = 64;
+constexpr std::uint64_t kWrites = 60000;
+
+/**
+ * Hot-spot stream: 80% of writes hammer a few hot lines, with enough
+ * duplicate content for dedup to matter.
+ */
+struct Outcome
+{
+    std::uint64_t lineWrites;
+    std::uint64_t eliminated;
+    std::uint64_t maxWear;
+};
+
+Outcome
+run(bool dedup, bool leveling)
+{
+    SystemConfig config;
+    config.memory.numLines = 1 << 16;
+    NvmDevice device(config);
+
+    std::unique_ptr<MemController> ctrl;
+    if (dedup) {
+        ctrl = std::make_unique<DeWriteController>(
+            config, device, defaultAesKey(),
+            DeWriteController::Options{});
+    } else {
+        ctrl = std::make_unique<SecureBaselineController>(
+            config, device, defaultAesKey(),
+            SecureBaselineController::Options{});
+    }
+
+    // The leveler sits below the controller conceptually; here it
+    // pre-translates the hot-spot address stream the controller sees,
+    // which is equivalent for wear accounting.
+    StartGapLeveler leveler(kLines, 4);
+
+    Rng rng(181);
+    std::vector<Line> pool;
+    Time now = 0;
+    for (std::uint64_t i = 0; i < kWrites; ++i) {
+        LineAddr addr = rng.chance(0.8)
+            ? rng.nextBelow(kLines / 20)            // The hot 5%.
+            : kLines / 20 + rng.nextBelow(kLines - kLines / 20);
+        if (leveling)
+            addr = leveler.translate(addr);
+
+        Line data;
+        if (!pool.empty() && rng.chance(0.55)) {
+            data = pool[rng.nextBelow(pool.size())];
+        } else {
+            data = Line::random(rng);
+            if (pool.size() < 24)
+                pool.push_back(data);
+        }
+        now += ctrl->write(addr, data, now).latency;
+
+        if (leveling && leveler.recordWrite())
+            leveler.performGapMove(device, now);
+    }
+
+    std::uint64_t max_wear = 0;
+    for (LineAddr line = 0; line <= kLines; ++line)
+        max_wear = std::max(max_wear, device.wear().lineWrites(line));
+    return { device.numWrites(), ctrl->writesEliminated(), max_wear };
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Wear leveling x write reduction (endurance "
+                "extension)\n\n");
+    std::printf("hot-spot stream: %llu writes, 80%% to 5%% of %llu "
+                "lines\n\n",
+                static_cast<unsigned long long>(kWrites),
+                static_cast<unsigned long long>(kLines));
+
+    TablePrinter table({ "scheme", "writes eliminated",
+                         "NVM line writes", "max line wear",
+                         "max-wear vs worst" });
+    double worst = 0;
+    for (int dedup = 0; dedup < 2; ++dedup) {
+        for (int leveling = 0; leveling < 2; ++leveling) {
+            const Outcome outcome = run(dedup, leveling);
+            if (worst == 0)
+                worst = static_cast<double>(outcome.maxWear);
+            std::string label = dedup ? "DeWrite" : "secure baseline";
+            label += leveling ? " + Start-Gap" : "";
+            table.addRow(
+                { label, TablePrinter::num(outcome.eliminated, 0),
+                  TablePrinter::num(outcome.lineWrites, 0),
+                  TablePrinter::num(outcome.maxWear, 0),
+                  TablePrinter::times(
+                      worst / static_cast<double>(outcome.maxWear)) });
+        }
+    }
+    table.print();
+
+    std::printf("\nThe two techniques address different limiters: "
+                "DeWrite eliminates duplicate write traffic (total cell "
+                "wear), while Start-Gap smears the remaining hot-line "
+                "rewrites across the module (max per-line wear). "
+                "Combined, both axes improve.\n");
+    return 0;
+}

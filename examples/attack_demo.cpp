@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Threat-model demo (Section II-A): what a stolen-DIMM attacker sees.
+ *
+ * Writes recognizable secrets through (a) a plain NVM controller and
+ * (b) the DeWrite secure controller, then plays the attacker: dump the
+ * raw cells of the stolen module and scan them for the secrets. The
+ * plain module leaks everything; the encrypted one yields
+ * indistinguishable-from-random bytes (a byte-entropy estimate is
+ * printed as evidence).
+ *
+ * Usage:
+ *   ./build/examples/attack_demo
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+using namespace dewrite;
+
+namespace {
+
+const char *kSecrets[] = {
+    "user=root password=hunter2",
+    "BEGIN RSA PRIVATE KEY 4242",
+    "credit_card=4111111111111111",
+};
+
+/** The attacker's dump: every written line's raw cells. */
+std::vector<std::uint8_t>
+dumpModule(const NvmDevice &device, LineAddr first, LineAddr last)
+{
+    std::vector<std::uint8_t> dump;
+    for (LineAddr addr = first; addr < last; ++addr) {
+        if (!device.isWritten(addr))
+            continue;
+        const Line line = device.peek(addr);
+        dump.insert(dump.end(), line.data(), line.data() + kLineSize);
+    }
+    return dump;
+}
+
+bool
+containsSecret(const std::vector<std::uint8_t> &dump, const char *secret)
+{
+    const std::size_t n = std::strlen(secret);
+    if (dump.size() < n)
+        return false;
+    for (std::size_t i = 0; i + n <= dump.size(); ++i) {
+        if (std::memcmp(dump.data() + i, secret, n) == 0)
+            return true;
+    }
+    return false;
+}
+
+/** Shannon entropy of the dump's byte histogram, bits per byte. */
+double
+byteEntropy(const std::vector<std::uint8_t> &dump)
+{
+    if (dump.empty())
+        return 0.0;
+    std::uint64_t histogram[256] = {};
+    for (std::uint8_t byte : dump)
+        ++histogram[byte];
+    double entropy = 0.0;
+    for (std::uint64_t count : histogram) {
+        if (count == 0)
+            continue;
+        const double p =
+            static_cast<double>(count) / static_cast<double>(dump.size());
+        entropy -= p * std::log2(p);
+    }
+    return entropy;
+}
+
+void
+attack(const char *label, System &system)
+{
+    // The victim stores secrets plus some filler.
+    LineAddr addr = 100;
+    for (const char *secret : kSecrets) {
+        Line line;
+        std::memcpy(line.data(), secret, std::strlen(secret));
+        system.write(addr++, line);
+    }
+    for (int i = 0; i < 29; ++i)
+        system.write(addr++, Line::pattern(0x4141414141414141ULL));
+
+    // The DIMM is stolen; the attacker streams out the cells.
+    const std::vector<std::uint8_t> dump =
+        dumpModule(system.device(), 100, addr);
+
+    std::printf("%s: dumped %zu bytes, entropy %.2f bits/byte\n", label,
+                dump.size(), byteEntropy(dump));
+    for (const char *secret : kSecrets) {
+        std::printf("  secret \"%.20s...\": %s\n", secret,
+                    containsSecret(dump, secret) ? "LEAKED"
+                                                 : "not found");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Stolen-DIMM attack (Section II-A threat model)\n\n");
+
+    SystemConfig config;
+
+    SchemeOptions plain;
+    plain.kind = SchemeKind::Plain;
+    System exposed(config, plain);
+    attack("plain NVM    ", exposed);
+
+    std::printf("\n");
+
+    SchemeOptions secure;
+    secure.kind = SchemeKind::DeWrite;
+    System protected_system(config, secure);
+    attack("DeWrite NVMM ", protected_system);
+
+    std::printf("\nCounter-mode AES leaves the stolen module looking "
+                "like noise (~8 bits/byte); deduplication changes "
+                "which cells hold data, never whether they are "
+                "encrypted.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: store and load data through an encrypted, deduplicated
+ * NVM and watch what the controller does.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/system.hh"
+
+using namespace dewrite;
+
+int
+main()
+{
+    // A 1 GB PCM module behind the full DeWrite controller with the
+    // paper's default configuration (counter-mode encryption, CRC-32
+    // dedup, 3-bit prediction, PNA).
+    SystemConfig config;
+    SchemeOptions scheme;
+    scheme.kind = SchemeKind::DeWrite;
+    System system(config, scheme);
+
+    // Write three lines: two of them identical.
+    Line greeting;
+    std::memcpy(greeting.data(), "hello, persistent world", 24);
+    Line zeros; // A freshly zeroed buffer.
+
+    const CtrlWriteResult first = system.write(/*addr=*/100, greeting);
+    const CtrlWriteResult second = system.write(/*addr=*/200, greeting);
+    const CtrlWriteResult third = system.write(/*addr=*/300, zeros);
+
+    std::printf("write @100 (unique):    %s, %llu ns\n",
+                first.eliminated ? "eliminated" : "written",
+                static_cast<unsigned long long>(first.latency /
+                                                kNanoSecond));
+    std::printf("write @200 (duplicate): %s, %llu ns\n",
+                second.eliminated ? "eliminated" : "written",
+                static_cast<unsigned long long>(second.latency /
+                                                kNanoSecond));
+    std::printf("write @300 (zero line): %s, %llu ns\n",
+                third.eliminated ? "eliminated" : "written",
+                static_cast<unsigned long long>(third.latency /
+                                                kNanoSecond));
+
+    // Reads round-trip exactly, wherever the bytes physically live.
+    const CtrlReadResult back = system.read(200);
+    std::printf("read  @200: '%.23s' (%s)\n", back.data.data(),
+                back.data == greeting ? "matches" : "MISMATCH");
+
+    // At rest the device holds only ciphertext.
+    std::printf("at rest @100 starts with: %s (encrypted)\n",
+                system.device().peek(100).debugString().c_str());
+
+    // One physical line serves both logical addresses.
+    std::printf("device line writes so far: %llu (one line deduped "
+                "away)\n",
+                static_cast<unsigned long long>(
+                    system.device().numWrites()));
+    return 0;
+}

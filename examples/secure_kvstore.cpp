@@ -1,0 +1,135 @@
+/**
+ * @file
+ * A small persistent key-value store running on simulated secure NVMM
+ * — the API from an application's point of view.
+ *
+ * Keys map to line addresses via a fixed open-addressed directory;
+ * values are 255-byte blobs stored one per line (byte 0 holds the
+ * length). The interesting part is underneath: identical values stored
+ * under different keys are deduplicated by the controller, and
+ * everything is encrypted at rest.
+ *
+ * Build & run:
+ *   ./build/examples/secure_kvstore
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "sim/system.hh"
+
+using namespace dewrite;
+
+namespace {
+
+/** A toy KV store over the line-granularity secure NVM API. */
+class SecureKvStore
+{
+  public:
+    explicit SecureKvStore(System &system) : system_(system) {}
+
+    bool
+    put(const std::string &key, const std::string &value)
+    {
+        if (value.size() > kLineSize - 1)
+            return false;
+        const LineAddr slot = findSlot(key, /*for_insert=*/true);
+        if (slot == kInvalidAddr)
+            return false;
+
+        Line line;
+        line.setByte(0, static_cast<std::uint8_t>(value.size()));
+        std::memcpy(line.data() + 1, value.data(), value.size());
+        system_.write(dataAddr(slot), line);
+
+        keys_[slot] = key;
+        return true;
+    }
+
+    std::optional<std::string>
+    get(const std::string &key)
+    {
+        const LineAddr slot = findSlot(key, /*for_insert=*/false);
+        if (slot == kInvalidAddr)
+            return std::nullopt;
+        const CtrlReadResult read = system_.read(dataAddr(slot));
+        if (!read.valid)
+            return std::nullopt;
+        return std::string(
+            reinterpret_cast<const char *>(read.data.data() + 1),
+            read.data.byte(0));
+    }
+
+  private:
+    static constexpr LineAddr kSlots = 4096;
+
+    static LineAddr
+    dataAddr(LineAddr slot)
+    {
+        return 1000 + slot; // The store's region of the address space.
+    }
+
+    LineAddr
+    findSlot(const std::string &key, bool for_insert)
+    {
+        const std::size_t start =
+            std::hash<std::string>{}(key) % kSlots;
+        for (LineAddr probe = 0; probe < kSlots; ++probe) {
+            const LineAddr slot = (start + probe) % kSlots;
+            if (keys_[slot].empty())
+                return for_insert ? slot : kInvalidAddr;
+            if (keys_[slot] == key)
+                return slot;
+        }
+        return kInvalidAddr;
+    }
+
+    System &system_;
+    std::string keys_[kSlots];
+};
+
+} // namespace
+
+int
+main()
+{
+    SystemConfig config;
+    SchemeOptions scheme;
+    scheme.kind = SchemeKind::DeWrite;
+    System system(config, scheme);
+    SecureKvStore store(system);
+
+    // A config blob replicated under many keys — the classic
+    // dedup-friendly pattern (think per-tenant default settings).
+    const std::string default_config =
+        "retries=3;timeout=500ms;tls=on;region=eu-west-1";
+    for (int tenant = 0; tenant < 64; ++tenant)
+        store.put("tenant/" + std::to_string(tenant) + "/config",
+                  default_config);
+
+    // Some unique values too.
+    store.put("tenant/7/owner", "alice");
+    store.put("tenant/9/owner", "bob");
+
+    const auto fetched = store.get("tenant/42/config");
+    std::printf("get tenant/42/config -> '%s'\n",
+                fetched ? fetched->c_str() : "(missing)");
+    std::printf("get tenant/9/owner   -> '%s'\n",
+                store.get("tenant/9/owner")->c_str());
+    std::printf("get tenant/9/missing -> %s\n",
+                store.get("tenant/9/missing") ? "??" : "(missing)");
+
+    const MemController &ctrl = system.controller();
+    std::printf("\n66 puts -> %llu NVM line writes "
+                "(%llu duplicates eliminated)\n",
+                static_cast<unsigned long long>(
+                    system.device().numWrites()),
+                static_cast<unsigned long long>(
+                    ctrl.writesEliminated()));
+    std::printf("avg write latency %.0f ns, avg read latency %.0f ns\n",
+                ctrl.avgWriteLatency() / kNanoSecond,
+                ctrl.avgReadLatency() / kNanoSecond);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * CounterCache implementation.
+ */
+
+#include "cache/counter_cache.hh"
+
+#include "nvm/nvm_device.hh"
+
+namespace dewrite {
+
+CounterCache::CounterCache(const SystemConfig &config, NvmDevice &device,
+                           LineAddr region_base)
+    : config_(config), device_(device),
+      directory_(config.memory.counterCacheBytes / kLineSize),
+      base_(region_base),
+      regionLines_((config.memory.numLines + kEntriesPerLine - 1) /
+                   kEntriesPerLine)
+{
+}
+
+MetadataAccessResult
+CounterCache::access(LineAddr addr, bool is_write, Time now)
+{
+    const std::uint64_t block = addr / kEntriesPerLine;
+
+    MetadataAccessResult result;
+    result.latency = config_.timing.metadataCacheAccess;
+    energy_ += config_.energy.metadataCacheAccess;
+
+    if (directory_.access(block, is_write)) {
+        result.hit = true;
+        return result;
+    }
+
+    // Counter lines are stored raw (they are not secret), so a fill is
+    // one NVM read with no decryption step.
+    const NvmAccess fill = device_.read(base_ + block % regionLines_, now);
+    result.latency += fill.complete - now;
+    ++result.nvmReads;
+
+    const CacheEviction eviction = directory_.insert(block, is_write);
+    if (eviction.valid && eviction.dirty) {
+        // Counter writebacks drain lazily like the dedup metadata's
+        // (the cache is battery-backed in both designs).
+        device_.writeBackground(base_ + eviction.key % regionLines_,
+                                Line(), kAesBlockSize * 8);
+        ++result.nvmWrites;
+    }
+
+    return result;
+}
+
+} // namespace dewrite

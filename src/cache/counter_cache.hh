@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The counter cache of the traditional secure-NVM baseline.
+ *
+ * Counter-mode encryption needs the per-line write counter before it can
+ * generate the OTP. The baseline keeps counters in a dedicated NVM
+ * region fronted by this on-chip write-back cache (2 MB, Table II);
+ * DeWrite removes the region entirely by colocating counters in the
+ * dedup tables, which is why this class is used only by the baseline.
+ */
+
+#ifndef DEWRITE_CACHE_COUNTER_CACHE_HH
+#define DEWRITE_CACHE_COUNTER_CACHE_HH
+
+#include "cache/metadata_cache.hh"
+#include "cache/set_assoc_cache.hh"
+#include "common/timing.hh"
+#include "common/types.hh"
+
+namespace dewrite {
+
+class NvmDevice;
+
+class CounterCache
+{
+  public:
+    /**
+     * @param region_base First NVM line address of the counter table.
+     */
+    CounterCache(const SystemConfig &config, NvmDevice &device,
+                 LineAddr region_base);
+
+    /**
+     * Accesses the counter of data line @p addr at time @p now.
+     *
+     * On a hit the OTP can be computed in parallel with the data-line
+     * access, so only the SRAM latency lands on the critical path; on a
+     * miss the counter line must be fetched from NVM first.
+     */
+    MetadataAccessResult access(LineAddr addr, bool is_write, Time now);
+
+    double hitRate() const { return directory_.hitRate(); }
+    std::uint64_t dirtyEvictions() const
+    {
+        return directory_.dirtyEvictions();
+    }
+
+    /** NVM lines the counter table spans (space overhead accounting). */
+    LineAddr regionLines() const { return regionLines_; }
+
+    Energy totalEnergy() const { return energy_; }
+
+  private:
+    /** Counters per NVM line: 2048 bits / 32-bit counter slots. */
+    static constexpr std::uint64_t kEntriesPerLine = kLineBits / 32;
+
+    const SystemConfig &config_;
+    NvmDevice &device_;
+    SetAssocCache directory_;
+    LineAddr base_;
+    LineAddr regionLines_;
+    Energy energy_ = 0;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_CACHE_COUNTER_CACHE_HH

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * MetadataCache implementation.
+ */
+
+#include "cache/metadata_cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "nvm/nvm_device.hh"
+
+namespace dewrite {
+
+namespace {
+
+constexpr std::uint64_t kBitsPerLine = kLineBits;
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Entry width in bits for each table (Section IV-E1). */
+std::uint64_t
+entryBitsFor(MetadataTable table, const MemoryConfig &memory)
+{
+    switch (table) {
+      case MetadataTable::Mapping:
+      case MetadataTable::InvertedHash:
+        return 33; // 4 B realAddr/hash-or-counter + 1 flag bit.
+      case MetadataTable::HashStore:
+        // Digest + 32-bit realAddr + 8-bit refcount (72 bits for
+        // DeWrite's CRC-32; wider for cryptographic fingerprints).
+        return memory.hashDigestBits + 32 + 8;
+      case MetadataTable::Fsm:
+        return 1;
+    }
+    panic("bad metadata table");
+}
+
+} // namespace
+
+MetadataCache::MetadataCache(const SystemConfig &config, NvmDevice &device,
+                             LineAddr region_base)
+    : config_(config), device_(device),
+      partitions_{
+          // Placeholder construction; the body below lays the tables out
+          // properly. std::array needs all four elements up front.
+          Partition(1, 1, 1, 1, 0, 0), Partition(1, 1, 1, 1, 0, 0),
+          Partition(1, 1, 1, 1, 0, 0), Partition(1, 1, 1, 1, 0, 0),
+      }
+{
+    const std::uint64_t lines = config.memory.numLines;
+    const std::size_t capacities[kNumMetadataTables] = {
+        config.memory.mappingCacheBytes,
+        config.memory.invHashCacheBytes,
+        config.memory.hashCacheBytes,
+        config.memory.fsmCacheBytes,
+    };
+
+    LineAddr base = region_base;
+    for (unsigned t = 0; t < kNumMetadataTables; ++t) {
+        const auto table = static_cast<MetadataTable>(t);
+        const std::uint64_t entry_bits =
+            entryBitsFor(table, config.memory);
+
+        // Sequential tables honor the configured prefetch granularity;
+        // the hash-indexed store fetches exactly one NVM line's worth of
+        // entries, and the FSM bitmap a full line of flags.
+        std::uint64_t block_entries;
+        switch (table) {
+          case MetadataTable::Mapping:
+          case MetadataTable::InvertedHash:
+            block_entries = config.memory.prefetchEntries;
+            break;
+          case MetadataTable::HashStore:
+            block_entries = kBitsPerLine / entry_bits;
+            break;
+          case MetadataTable::Fsm:
+            block_entries = kBitsPerLine;
+            break;
+          default:
+            panic("bad metadata table");
+        }
+
+        const std::uint64_t lines_per_block =
+            ceilDiv(block_entries * entry_bits, kBitsPerLine);
+        const std::uint64_t span = ceilDiv(lines * entry_bits, kBitsPerLine);
+        const std::size_t num_blocks = std::max<std::size_t>(
+            1, capacities[t] / (lines_per_block * kLineSize));
+
+        partitions_[t] = Partition(num_blocks, entry_bits, block_entries,
+                                   lines_per_block, base, span);
+        base += span;
+    }
+}
+
+MetadataCache::Partition &
+MetadataCache::partition(MetadataTable table)
+{
+    return partitions_[static_cast<unsigned>(table)];
+}
+
+const MetadataCache::Partition &
+MetadataCache::partition(MetadataTable table) const
+{
+    return partitions_[static_cast<unsigned>(table)];
+}
+
+Time
+MetadataCache::fillBlock(Partition &part, std::uint64_t block, Time now,
+                         MetadataAccessResult &result)
+{
+    // Consecutive lines map to consecutive banks, so the fill reads
+    // proceed in parallel; the fill completes when the slowest returns.
+    Time done = now;
+    for (std::uint64_t i = 0; i < part.linesPerBlock; ++i) {
+        const LineAddr addr =
+            part.base + (block * part.linesPerBlock + i) % part.lines;
+        const NvmAccess access = device_.read(addr, now);
+        done = std::max(done, access.complete);
+        fillReads_.increment();
+        ++result.nvmReads;
+        // Metadata is directly encrypted per 128-bit block, so the
+        // fill decrypts only the blocks it needs; unlike CME the
+        // decryption cannot overlap the read.
+        energy_ += config_.energy.aesBlock;
+    }
+    return done + config_.timing.aesBlock;
+}
+
+void
+MetadataCache::writebackBlock(Partition &part, std::uint64_t block, Time now,
+                              MetadataAccessResult &result)
+{
+    for (std::uint64_t i = 0; i < part.linesPerBlock; ++i) {
+        const LineAddr addr =
+            part.base + (block * part.linesPerBlock + i) % part.lines;
+        // Content is held functionally by the owning table. The
+        // metadata cache is battery-backed (Section V), so writebacks
+        // drain lazily into idle bank slots; a typical writeback
+        // dirtied a few entries, i.e. one re-encrypted 128-bit block
+        // of cells per line.
+        (void)now;
+        device_.writeBackground(addr, Line(), kAesBlockSize * 8);
+        writebacks_.increment();
+        ++result.nvmWrites;
+        energy_ += config_.energy.aesBlock; // Direct re-encryption.
+    }
+}
+
+MetadataAccessResult
+MetadataCache::access(MetadataTable table, std::uint64_t index, bool is_write,
+                      Time now, bool allow_fill)
+{
+    Partition &part = partition(table);
+    const std::uint64_t block = index / part.blockEntries;
+
+    MetadataAccessResult result;
+    result.latency = config_.timing.metadataCacheAccess;
+    energy_ += config_.energy.metadataCacheAccess;
+
+    const bool write_through =
+        config_.memory.metadataWritePolicy ==
+        MetadataWritePolicy::WriteThrough;
+
+    if (part.directory.access(block, is_write && !write_through)) {
+        result.hit = true;
+        if (is_write && write_through)
+            writebackBlock(part, block, now, result);
+        return result;
+    }
+
+    if (!allow_fill)
+        return result;
+
+    const Time filled = fillBlock(part, block, now, result);
+    result.latency += filled - now;
+
+    const CacheEviction eviction =
+        part.directory.insert(block, is_write && !write_through);
+    if (eviction.valid && eviction.dirty)
+        writebackBlock(part, eviction.key, filled, result);
+    if (is_write && write_through)
+        writebackBlock(part, block, filled, result);
+
+    return result;
+}
+
+MetadataAccessResult
+MetadataCache::insertEntry(MetadataTable table, std::uint64_t index,
+                           Time now)
+{
+    Partition &part = partition(table);
+    const std::uint64_t block = index / part.blockEntries;
+
+    MetadataAccessResult result;
+    result.latency = config_.timing.metadataCacheAccess;
+    energy_ += config_.energy.metadataCacheAccess;
+
+    const bool write_through =
+        config_.memory.metadataWritePolicy ==
+        MetadataWritePolicy::WriteThrough;
+
+    if (part.directory.access(block, /*make_dirty=*/!write_through)) {
+        result.hit = true;
+        if (write_through)
+            writebackBlock(part, block, now, result);
+        return result;
+    }
+
+    const CacheEviction eviction =
+        part.directory.insert(block, /*dirty=*/!write_through);
+    if (eviction.valid && eviction.dirty)
+        writebackBlock(part, eviction.key, now, result);
+    if (write_through)
+        writebackBlock(part, block, now, result);
+    return result;
+}
+
+MetadataAccessResult
+MetadataCache::postUpdate(MetadataTable table, std::uint64_t index,
+                          Time now)
+{
+    Partition &part = partition(table);
+    const std::uint64_t block = index / part.blockEntries;
+
+    MetadataAccessResult result;
+    result.latency = config_.timing.metadataCacheAccess;
+    energy_ += config_.energy.metadataCacheAccess;
+
+    const bool write_through =
+        config_.memory.metadataWritePolicy ==
+        MetadataWritePolicy::WriteThrough;
+
+    if (part.directory.access(block, /*make_dirty=*/!write_through)) {
+        result.hit = true;
+        if (write_through)
+            writebackBlock(part, block, now, result);
+        return result;
+    }
+
+    // Miss: the update drains as a background read-modify-write of the
+    // entry's home block; nothing is brought on chip and nothing
+    // stalls.
+    writebackBlock(part, block, now, result);
+    return result;
+}
+
+double
+MetadataCache::hitRate(MetadataTable table) const
+{
+    return partition(table).directory.hitRate();
+}
+
+std::uint64_t
+MetadataCache::dirtyEvictions(MetadataTable table) const
+{
+    return partition(table).directory.dirtyEvictions();
+}
+
+void
+MetadataCache::flushAll(Time now)
+{
+    for (auto &part : partitions_) {
+        for (std::uint64_t block : part.directory.dirtyKeys()) {
+            MetadataAccessResult scratch;
+            writebackBlock(part, block, now, scratch);
+        }
+        part.directory.cleanAll();
+    }
+}
+
+LineAddr
+MetadataCache::regionLines() const
+{
+    LineAddr total = 0;
+    for (const auto &part : partitions_)
+        total += part.lines;
+    return total;
+}
+
+} // namespace dewrite

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * SetAssocCache implementation.
+ */
+
+#include "cache/set_assoc_cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dewrite {
+
+namespace {
+
+/** Mixes block keys so adjacent blocks do not all map to one set. */
+std::uint64_t
+mixKey(std::uint64_t key)
+{
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    return key;
+}
+
+} // namespace
+
+SetAssocCache::SetAssocCache(std::size_t num_blocks, unsigned associativity)
+    : numBlocks_(num_blocks), associativity_(associativity)
+{
+    if (associativity_ == 0)
+        fatal("cache associativity must be nonzero");
+    numSets_ = std::max<std::size_t>(1, num_blocks / associativity_);
+    numBlocks_ = numSets_ * associativity_;
+    ways_.resize(numSets_ * associativity_);
+}
+
+std::size_t
+SetAssocCache::setIndex(std::uint64_t key) const
+{
+    return mixKey(key) % numSets_;
+}
+
+bool
+SetAssocCache::access(std::uint64_t key, bool make_dirty)
+{
+    Way *base = ways_.data() + setIndex(key) * associativity_;
+    for (unsigned w = 0; w < associativity_; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.key == key) {
+            way.lastUse = ++useClock_;
+            way.dirty = way.dirty || make_dirty;
+            hits_.increment();
+            return true;
+        }
+    }
+    misses_.increment();
+    return false;
+}
+
+CacheEviction
+SetAssocCache::insert(std::uint64_t key, bool dirty)
+{
+    Way *base = ways_.data() + setIndex(key) * associativity_;
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < associativity_; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.key == key)
+            panic("inserting key %llu already resident",
+                  static_cast<unsigned long long>(key));
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (!victim || way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+
+    CacheEviction eviction;
+    if (victim->valid) {
+        eviction.valid = true;
+        eviction.key = victim->key;
+        eviction.dirty = victim->dirty;
+        if (victim->dirty)
+            dirtyEvictions_.increment();
+    }
+
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->key = key;
+    victim->lastUse = ++useClock_;
+    return eviction;
+}
+
+bool
+SetAssocCache::contains(std::uint64_t key) const
+{
+    const Way *base = ways_.data() + setIndex(key) * associativity_;
+    for (unsigned w = 0; w < associativity_; ++w) {
+        if (base[w].valid && base[w].key == key)
+            return true;
+    }
+    return false;
+}
+
+CacheEviction
+SetAssocCache::invalidate(std::uint64_t key)
+{
+    Way *base = ways_.data() + setIndex(key) * associativity_;
+    for (unsigned w = 0; w < associativity_; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.key == key) {
+            CacheEviction eviction{ true, way.key, way.dirty };
+            if (way.dirty)
+                dirtyEvictions_.increment();
+            way = Way();
+            return eviction;
+        }
+    }
+    return {};
+}
+
+double
+SetAssocCache::hitRate() const
+{
+    const std::uint64_t total = hits_.value() + misses_.value();
+    return total ? static_cast<double>(hits_.value()) / total : 0.0;
+}
+
+void
+SetAssocCache::flush()
+{
+    std::fill(ways_.begin(), ways_.end(), Way());
+}
+
+std::vector<std::uint64_t>
+SetAssocCache::dirtyKeys() const
+{
+    std::vector<std::uint64_t> keys;
+    for (const auto &way : ways_) {
+        if (way.valid && way.dirty)
+            keys.push_back(way.key);
+    }
+    return keys;
+}
+
+void
+SetAssocCache::cleanAll()
+{
+    for (auto &way : ways_)
+        way.dirty = false;
+}
+
+} // namespace dewrite

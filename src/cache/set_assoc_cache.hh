@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A generic set-associative write-back cache directory with LRU.
+ *
+ * The metadata structures themselves are held functionally by their
+ * owners (hash store, mapping tables); this class models only *presence*:
+ * which blocks are resident on chip, which are dirty, and what gets
+ * evicted. That is exactly what the timing and traffic models need.
+ */
+
+#ifndef DEWRITE_CACHE_SET_ASSOC_CACHE_HH
+#define DEWRITE_CACHE_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace dewrite {
+
+/** A victim pushed out by an insertion. */
+struct CacheEviction
+{
+    bool valid = false;    //!< An entry was actually evicted.
+    std::uint64_t key = 0; //!< Its block key.
+    bool dirty = false;    //!< It had unwritten modifications.
+};
+
+class SetAssocCache
+{
+  public:
+    /**
+     * @param num_blocks Total capacity in blocks (rounded down to a
+     *                   multiple of associativity; minimum one set).
+     * @param associativity Ways per set.
+     */
+    SetAssocCache(std::size_t num_blocks, unsigned associativity = 8);
+
+    /**
+     * Looks up @p key; on a hit, refreshes LRU and optionally marks the
+     * block dirty. Returns true on hit.
+     */
+    bool access(std::uint64_t key, bool make_dirty);
+
+    /**
+     * Inserts @p key (which must not be resident), evicting the set's
+     * LRU victim if the set is full.
+     */
+    CacheEviction insert(std::uint64_t key, bool dirty);
+
+    /** True iff @p key is resident (no LRU update, no stats). */
+    bool contains(std::uint64_t key) const;
+
+    /** Invalidates @p key if resident; returns its eviction record. */
+    CacheEviction invalidate(std::uint64_t key);
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t dirtyEvictions() const { return dirtyEvictions_.value(); }
+
+    double hitRate() const;
+
+    std::size_t numBlocks() const { return numBlocks_; }
+    std::size_t numSets() const { return numSets_; }
+
+    /** Clears contents but keeps statistics. */
+    void flush();
+
+    /** Keys of all dirty resident blocks (for shutdown writeback). */
+    std::vector<std::uint64_t> dirtyKeys() const;
+
+    /** Clears every dirty bit (after a bulk writeback). */
+    void cleanAll();
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t key = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::size_t setIndex(std::uint64_t key) const;
+
+    std::size_t numBlocks_;
+    unsigned associativity_;
+    std::size_t numSets_;
+    std::vector<Way> ways_; // numSets_ x associativity_, row-major.
+    std::uint64_t useClock_ = 0;
+
+    Counter hits_;
+    Counter misses_;
+    Counter dirtyEvictions_;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_CACHE_SET_ASSOC_CACHE_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table-driven CRC-32 implementation.
+ */
+
+#include "common/crc32.hh"
+
+#include <array>
+
+namespace dewrite {
+
+namespace {
+
+/** Reflected IEEE 802.3 polynomial. */
+constexpr std::uint32_t kPolynomial = 0xedb88320u;
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+        table[i] = crc;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> kTable = makeTable();
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = (crc >> 8) ^ kTable[(crc ^ data[i]) & 0xff];
+    return crc ^ 0xffffffffu;
+}
+
+std::uint32_t
+crc32(const Line &line)
+{
+    return crc32(line.data(), kLineSize);
+}
+
+} // namespace dewrite

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial) — the light-weight line fingerprint.
+ *
+ * DeWrite summarizes each 256 B line with CRC-32 (Section III-B1): the
+ * hash is cheap (15 ns in hardware per Table Ia) but collisions are
+ * possible, so a hash match is always confirmed with a byte-wise compare
+ * of the candidate line.
+ */
+
+#ifndef DEWRITE_COMMON_CRC32_HH
+#define DEWRITE_COMMON_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/line.hh"
+
+namespace dewrite {
+
+/** CRC-32 over an arbitrary buffer (init/final XOR 0xffffffff). */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size);
+
+/** CRC-32 of a full 256 B memory line. */
+std::uint32_t crc32(const Line &line);
+
+} // namespace dewrite
+
+#endif // DEWRITE_COMMON_CRC32_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Hash catalog implementation.
+ */
+
+#include "common/hash_latency.hh"
+
+#include "common/logging.hh"
+
+namespace dewrite {
+
+namespace {
+
+const std::vector<HashSpec> kSpecs = {
+    { HashFunction::Crc32, "CRC-32", 15 * kNanoSecond, 32, false },
+    { HashFunction::Md5, "MD5", 312 * kNanoSecond, 128, true },
+    { HashFunction::Sha1, "SHA-1", 321 * kNanoSecond, 160, true },
+};
+
+} // namespace
+
+const HashSpec &
+hashSpec(HashFunction function)
+{
+    for (const auto &spec : kSpecs) {
+        if (spec.function == function)
+            return spec;
+    }
+    panic("unknown hash function %d", static_cast<int>(function));
+}
+
+const std::vector<HashSpec> &
+allHashSpecs()
+{
+    return kSpecs;
+}
+
+} // namespace dewrite

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Catalog of hash-function hardware characteristics (Table Ia).
+ *
+ * DeWrite's core argument against traditional fingerprint deduplication
+ * is quantitative: a cryptographic hash costs more than an NVM read and
+ * approaches an NVM write, while CRC-32 costs a fifth of a read. This
+ * catalog carries those published figures so the Table I bench and the
+ * dedup engine share one source of truth.
+ */
+
+#ifndef DEWRITE_COMMON_HASH_LATENCY_HH
+#define DEWRITE_COMMON_HASH_LATENCY_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dewrite {
+
+/** Which fingerprint function a dedup configuration uses. */
+enum class HashFunction
+{
+    Crc32,   //!< Light-weight; requires read-and-compare confirmation.
+    Md5,     //!< Cryptographic; collision-free in practice.
+    Sha1,    //!< Cryptographic; collision-free in practice.
+};
+
+/** Hardware characteristics of one fingerprint function. */
+struct HashSpec
+{
+    HashFunction function;
+    std::string_view name;
+    Time latency;          //!< Hardware latency to hash one 256 B line.
+    unsigned digestBits;   //!< Fingerprint width.
+    bool cryptographic;    //!< Whether matches need no confirmation read.
+};
+
+/** Returns the spec for @p function (latencies from Table Ia). */
+const HashSpec &hashSpec(HashFunction function);
+
+/** All catalogued functions, for sweeps and the Table I bench. */
+const std::vector<HashSpec> &allHashSpecs();
+
+} // namespace dewrite
+
+#endif // DEWRITE_COMMON_HASH_LATENCY_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic/fatal/warn/inform.
+ *
+ * panic() flags simulator bugs (aborts); fatal() flags unusable user
+ * configuration (exits cleanly with an error code); warn()/inform() print
+ * and continue.
+ */
+
+#ifndef DEWRITE_COMMON_LOGGING_HH
+#define DEWRITE_COMMON_LOGGING_HH
+
+#include <cstdarg>
+
+namespace dewrite {
+
+/** Internal invariant violated — a DeWrite bug. Prints and aborts. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Unusable configuration or input — a user error. Prints and exits(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Suspicious but survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace dewrite
+
+#endif // DEWRITE_COMMON_LOGGING_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Rng implementation (xoshiro256** + SplitMix64 seeding).
+ */
+
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace dewrite {
+
+namespace {
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    // Debiased multiply-shift (Lemire); the bias without rejection is
+    // negligible for workload generation, so we keep the fast path only.
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(next64()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextExponential(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    double u = nextDouble();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    const double sample = -mean * std::log(u);
+    return static_cast<std::uint64_t>(sample);
+}
+
+std::uint64_t
+Rng::nextZipf(std::uint64_t n, double theta)
+{
+    if (n <= 1)
+        return 0;
+    // Continuous bounded-Pareto inversion: a fast O(1) approximation of
+    // the discrete Zipf CDF, more than adequate for shaping content
+    // popularity in synthetic workloads.
+    const double u = nextDouble();
+    double x;
+    if (std::abs(theta - 1.0) < 1e-9) {
+        x = std::exp(u * std::log(static_cast<double>(n) + 1.0));
+    } else {
+        const double one_minus = 1.0 - theta;
+        const double top = std::pow(static_cast<double>(n) + 1.0, one_minus);
+        x = std::pow(u * (top - 1.0) + 1.0, 1.0 / one_minus);
+    }
+    auto rank = static_cast<std::uint64_t>(x) - 1;
+    return rank >= n ? n - 1 : rank;
+}
+
+} // namespace dewrite

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The synthetic workload generators must be exactly reproducible across
+ * runs and platforms, so we implement xoshiro256** (seeded via SplitMix64)
+ * rather than relying on std::mt19937 distribution implementations, whose
+ * std::*_distribution outputs are not specified bit-for-bit.
+ */
+
+#ifndef DEWRITE_COMMON_RNG_HH
+#define DEWRITE_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace dewrite {
+
+/**
+ * xoshiro256** generator with convenience samplers.
+ *
+ * All samplers are implemented on top of next64() with explicit,
+ * platform-independent arithmetic.
+ */
+class Rng
+{
+  public:
+    /** Seeds the state from a single 64-bit seed using SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next64();
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw: true with probability @p p. */
+    bool chance(double p);
+
+    /**
+     * Geometric-ish draw: samples from an exponential distribution with
+     * mean @p mean, rounded to an integer (minimum 0). Used for
+     * instruction gaps between memory events.
+     */
+    std::uint64_t nextExponential(double mean);
+
+    /**
+     * Zipf-like rank sampler over [0, n): rank r is drawn with probability
+     * proportional to 1 / (r + 1)^theta. Used to model the skewed
+     * popularity of duplicate line contents (a few contents are referenced
+     * by very many lines, Figure 7).
+     */
+    std::uint64_t nextZipf(std::uint64_t n, double theta);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_COMMON_RNG_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Lightweight statistics primitives: named counters, means, histograms.
+ *
+ * Every simulated component accumulates its activity in Stat objects;
+ * the experiment harnesses read them back to print the paper's tables
+ * and figures.
+ */
+
+#ifndef DEWRITE_COMMON_STATS_HH
+#define DEWRITE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dewrite {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void increment(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulates samples; reports count / sum / mean / min / max. */
+class Accumulator
+{
+  public:
+    void add(double sample);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram over [0, bucketCount * bucketWidth); samples at
+ * or beyond the top land in an overflow bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::size_t bucket_count, double bucket_width);
+
+    void add(double sample);
+
+    std::size_t bucketCount() const { return buckets_.size(); }
+    double bucketWidth() const { return bucketWidth_; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples strictly below @p threshold. */
+    double fractionBelow(double threshold) const;
+
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    double bucketWidth_;
+};
+
+/**
+ * A flat registry of named numeric results, used by components to expose
+ * their counters to harnesses without hard-wiring every field name.
+ */
+class StatSet
+{
+  public:
+    void set(const std::string &name, double value);
+    void add(const std::string &name, double delta);
+
+    /** Returns the value, or 0 if the stat was never set. */
+    double get(const std::string &name) const;
+    bool has(const std::string &name) const;
+
+    const std::map<std::string, double> &all() const { return values_; }
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_COMMON_STATS_HH

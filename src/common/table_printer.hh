@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Console table formatting for experiment output.
+ *
+ * Every bench binary prints rows in the shape of the paper's tables and
+ * figures; TablePrinter keeps columns aligned so the output is directly
+ * readable and diffable.
+ */
+
+#ifndef DEWRITE_COMMON_TABLE_PRINTER_HH
+#define DEWRITE_COMMON_TABLE_PRINTER_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dewrite {
+
+/**
+ * Collects rows of string cells and prints them with computed column
+ * widths. Numeric convenience formatters are provided.
+ */
+class TablePrinter
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Appends a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Prints to @p out with a separator under the header. */
+    void print(std::FILE *out = stdout) const;
+
+    /** Formats a double with @p decimals fraction digits. */
+    static std::string num(double value, int decimals = 2);
+
+    /** Formats a fraction as a percentage string, e.g. "54.2%". */
+    static std::string percent(double fraction, int decimals = 1);
+
+    /** Formats a ratio as a multiplier string, e.g. "4.2x". */
+    static std::string times(double ratio, int decimals = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_COMMON_TABLE_PRINTER_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Validation of model parameters.
+ */
+
+#include "common/timing.hh"
+
+#include "common/logging.hh"
+
+namespace dewrite {
+
+void
+validateConfig(const SystemConfig &config)
+{
+    if (config.timing.cyclePeriod == 0)
+        fatal("core clock period must be nonzero");
+    if (config.timing.nvmRead >= config.timing.nvmWrite) {
+        fatal("NVM model requires read latency < write latency "
+              "(the asymmetry DeWrite exploits)");
+    }
+    if (config.timing.numBanks == 0)
+        fatal("NVM device needs at least one bank");
+    if (config.memory.numLines == 0)
+        fatal("memory must have at least one line");
+    if (config.memory.prefetchEntries == 0)
+        fatal("prefetch granularity must be at least one entry");
+    if (config.memory.numLines > (1ULL << 32)) {
+        fatal("4 B real addresses cover at most 2^32 lines (1 TB); "
+              "%llu lines configured",
+              static_cast<unsigned long long>(config.memory.numLines));
+    }
+}
+
+} // namespace dewrite

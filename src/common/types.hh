@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every DeWrite module.
+ *
+ * All simulated time is carried in integer picoseconds so that a 2 GHz
+ * core cycle (500 ps) and all the paper's nanosecond-granularity device
+ * latencies are exactly representable without floating point drift.
+ */
+
+#ifndef DEWRITE_COMMON_TYPES_HH
+#define DEWRITE_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace dewrite {
+
+/** Line-granularity memory address: the index of a 256 B memory line. */
+using LineAddr = std::uint64_t;
+
+/** Simulated time in picoseconds. */
+using Time = std::uint64_t;
+
+/** Energy in picojoules (integer; all model constants are >= 1 pJ). */
+using Energy = std::uint64_t;
+
+/** One nanosecond in Time units. */
+inline constexpr Time kNanoSecond = 1000;
+
+/** One microsecond in Time units. */
+inline constexpr Time kMicroSecond = 1000 * kNanoSecond;
+
+/** One millisecond in Time units. */
+inline constexpr Time kMilliSecond = 1000 * kMicroSecond;
+
+/** Bytes per memory line / LLC cache line (fixed by the paper: 256 B). */
+inline constexpr std::size_t kLineSize = 256;
+
+/** Bits per memory line. */
+inline constexpr std::size_t kLineBits = kLineSize * 8;
+
+/** AES block size in bytes; a line holds kLineSize / 16 = 16 blocks. */
+inline constexpr std::size_t kAesBlockSize = 16;
+
+/** Number of AES blocks per 256 B line. */
+inline constexpr std::size_t kAesBlocksPerLine = kLineSize / kAesBlockSize;
+
+/** Sentinel for "no line address". */
+inline constexpr LineAddr kInvalidAddr = ~static_cast<LineAddr>(0);
+
+} // namespace dewrite
+
+#endif // DEWRITE_COMMON_TYPES_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * NoneReducer and DcwReducer implementation.
+ */
+
+#include "controller/bitlevel/dcw.hh"
+
+namespace dewrite {
+
+namespace {
+const Line kZeroLine;
+}
+
+const Line &
+CipherImageReducer::image(LineAddr slot) const
+{
+    auto it = images_.find(slot);
+    return it == images_.end() ? kZeroLine : it->second;
+}
+
+std::size_t
+NoneReducer::onWrite(LineAddr slot, const Line &new_pt,
+                     std::uint64_t counter)
+{
+    setImage(slot, cme_.encryptLine(new_pt, slot, counter));
+    return kLineBits;
+}
+
+std::size_t
+DcwReducer::onWrite(LineAddr slot, const Line &new_pt, std::uint64_t counter)
+{
+    const Line new_ct = cme_.encryptLine(new_pt, slot, counter);
+    const std::size_t flips = image(slot).bitDistance(new_ct);
+    setImage(slot, new_ct);
+    return flips;
+}
+
+} // namespace dewrite

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Full-line and Data-Comparison-Write reducers.
+ *
+ * DCW [Yang et al.] reads the old cell contents before a write and
+ * programs only the cells whose value changes. On encrypted NVMM the
+ * diffusion property makes ~50% of bits differ on every rewrite, which
+ * is exactly the effect Figure 13 quantifies.
+ */
+
+#ifndef DEWRITE_CONTROLLER_BITLEVEL_DCW_HH
+#define DEWRITE_CONTROLLER_BITLEVEL_DCW_HH
+
+#include <unordered_map>
+
+#include "controller/bitlevel/bitflip.hh"
+#include "crypto/counter_mode.hh"
+
+namespace dewrite {
+
+/** Shared cell-image tracking for the ciphertext-image reducers. */
+class CipherImageReducer : public BitLevelReducer
+{
+  protected:
+    explicit CipherImageReducer(const CounterModeEngine &cme) : cme_(cme) {}
+
+    /** Cell image of @p slot (zeros if never written — fresh PCM). */
+    const Line &image(LineAddr slot) const;
+
+    void setImage(LineAddr slot, const Line &image) { images_[slot] = image; }
+
+    const CounterModeEngine &cme_;
+
+  private:
+    std::unordered_map<LineAddr, Line> images_;
+};
+
+/** Baseline: every cell of the line is programmed on every write. */
+class NoneReducer : public CipherImageReducer
+{
+  public:
+    explicit NoneReducer(const CounterModeEngine &cme)
+        : CipherImageReducer(cme)
+    {}
+
+    std::size_t onWrite(LineAddr slot, const Line &new_pt,
+                        std::uint64_t counter) override;
+
+    BitTechnique technique() const override { return BitTechnique::None; }
+};
+
+/** DCW: program only the differing cells. */
+class DcwReducer : public CipherImageReducer
+{
+  public:
+    explicit DcwReducer(const CounterModeEngine &cme)
+        : CipherImageReducer(cme)
+    {}
+
+    std::size_t onWrite(LineAddr slot, const Line &new_pt,
+                        std::uint64_t counter) override;
+
+    BitTechnique technique() const override { return BitTechnique::Dcw; }
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_CONTROLLER_BITLEVEL_DCW_HH

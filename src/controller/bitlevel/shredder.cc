@@ -1,0 +1,7 @@
+/**
+ * @file
+ * ZeroLineDirectory is header-only; this translation unit anchors the
+ * component in the build so future out-of-line growth has a home.
+ */
+
+#include "controller/bitlevel/shredder.hh"

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Silent-Shredder-style zero-line elimination.
+ *
+ * Silent Shredder [Awad et al., ASPLOS'16] observes that data shredding
+ * (zeroing) accounts for a noticeable share of NVM writes and services
+ * zero-line writes purely in metadata: no cells are programmed, and a
+ * read of a shredded line is answered without touching the array. The
+ * paper uses it as the line-level comparison point for DeWrite
+ * (Figures 2 and 13): zero lines are only ~16% of writes, so shredding
+ * captures a fraction of what full deduplication eliminates.
+ */
+
+#ifndef DEWRITE_CONTROLLER_BITLEVEL_SHREDDER_HH
+#define DEWRITE_CONTROLLER_BITLEVEL_SHREDDER_HH
+
+#include <unordered_set>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dewrite {
+
+class ZeroLineDirectory
+{
+  public:
+    /** True iff @p addr is currently known-zero without stored cells. */
+    bool isZeroed(LineAddr addr) const { return zeroed_.contains(addr); }
+
+    /** Records the elimination of a zero-line write. */
+    void
+    markZeroed(LineAddr addr)
+    {
+        zeroed_.insert(addr);
+        eliminated_.increment();
+    }
+
+    /** Clears the zero mark when real data is written. */
+    void clearZeroed(LineAddr addr) { zeroed_.erase(addr); }
+
+    std::uint64_t eliminatedWrites() const { return eliminated_.value(); }
+    std::size_t zeroedLines() const { return zeroed_.size(); }
+
+  private:
+    std::unordered_set<LineAddr> zeroed_;
+    Counter eliminated_;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_CONTROLLER_BITLEVEL_SHREDDER_HH

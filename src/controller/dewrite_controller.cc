@@ -1,0 +1,191 @@
+/**
+ * @file
+ * DeWriteController implementation.
+ */
+
+#include "controller/dewrite_controller.hh"
+
+#include "common/logging.hh"
+
+namespace dewrite {
+
+std::string
+dedupModeName(DedupMode mode)
+{
+    switch (mode) {
+      case DedupMode::Direct:
+        return "direct";
+      case DedupMode::Parallel:
+        return "parallel";
+      case DedupMode::Predicted:
+        return "predicted";
+    }
+    panic("bad dedup mode");
+}
+
+DeWriteController::DeWriteController(const SystemConfig &config,
+                                     NvmDevice &device, const AesKey &key,
+                                     Options options)
+    : config_(config), device_(device), cme_(key),
+      metadata_(config, device, /*region_base=*/config.memory.numLines),
+      reducer_(options.technique == BitTechnique::None
+                   ? nullptr
+                   : makeReducer(options.technique, cme_)),
+      engine_(config, device, metadata_, cme_,
+              DedupEngine::Options{ options.confirmByRead, reducer_.get(),
+                                    /*maxChainProbe=*/4,
+                                    options.hashFunction }),
+      predictor_(options.historyBits), options_(options)
+{
+}
+
+DeWriteController::DeWriteController(const SystemConfig &config,
+                                     NvmDevice &device, const AesKey &key)
+    : DeWriteController(config, device, key, Options())
+{
+}
+
+std::string
+DeWriteController::name() const
+{
+    std::string label = "dewrite-" + dedupModeName(options_.mode);
+    if (options_.technique != BitTechnique::None)
+        label += "+" + bitTechniqueName(options_.technique);
+    if (options_.hashFunction != HashFunction::Crc32) {
+        label += "+";
+        label += hashSpec(options_.hashFunction).name;
+    }
+    return label;
+}
+
+void
+DeWriteController::startEncryption()
+{
+    encryptionsStarted_.increment();
+    aesEnergy_ += config_.energy.aesLine();
+}
+
+CtrlWriteResult
+DeWriteController::write(LineAddr addr, const Line &data, Time now)
+{
+    DetectOutcome det;
+    Time encrypt_ready = 0;
+    bool speculative_encryption = false;
+
+    switch (options_.mode) {
+      case DedupMode::Direct:
+        det = engine_.detect(data, now, /*allow_nvm_fill=*/true);
+        if (!det.duplicate) {
+            // Serial: the AES engine starts only after detection rules
+            // out a duplicate.
+            startEncryption();
+            encrypt_ready = det.done + config_.timing.aesLine;
+        }
+        break;
+
+      case DedupMode::Parallel:
+        // Encryption and detection launch together; the ciphertext is
+        // wasted whenever the line turns out to be a duplicate.
+        startEncryption();
+        speculative_encryption = true;
+        encrypt_ready = now + config_.timing.aesLine;
+        det = engine_.detect(data, now, /*allow_nvm_fill=*/true);
+        break;
+
+      case DedupMode::Predicted:
+        if (predictor_.predictDuplicate()) {
+            // Predicted duplicate: direct path, and the PNA scheme
+            // allows the in-NVM hash-table query.
+            det = engine_.detect(data, now, /*allow_nvm_fill=*/true);
+            if (!det.duplicate) {
+                startEncryption();
+                encrypt_ready = det.done + config_.timing.aesLine;
+            }
+        } else {
+            // Predicted unique: parallel path; PNA skips the in-NVM
+            // hash-table query on a metadata-cache miss.
+            startEncryption();
+            speculative_encryption = true;
+            encrypt_ready = now + config_.timing.aesLine;
+            det = engine_.detect(data, now,
+                                 /*allow_nvm_fill=*/!options_.pnaEnabled);
+        }
+        break;
+    }
+
+    WriteCommit commit;
+    if (det.duplicate) {
+        commit = engine_.commitDuplicate(addr, det, det.done);
+        if (speculative_encryption)
+            wastedEncryptions_.increment();
+    } else {
+        commit = engine_.commitUnique(addr, data, det.hash, det.done,
+                                      encrypt_ready);
+    }
+
+    // The predictor learns the resolved state of every write no matter
+    // which path scheduled it (its accuracy stat backs Figure 4).
+    predictor_.recordAndScore(det.duplicate);
+
+    const Time latency = commit.done - now;
+    noteWrite(latency, det.duplicate, commit.bitsProgrammed);
+    return { latency, det.duplicate };
+}
+
+CtrlReadResult
+DeWriteController::read(LineAddr addr, Time now)
+{
+    const ReadOutcome outcome = engine_.read(addr, now);
+    CtrlReadResult result;
+    result.data = outcome.data;
+    result.valid = outcome.valid;
+    result.latency = outcome.done - now;
+    noteRead(result.latency);
+    return result;
+}
+
+Energy
+DeWriteController::controllerEnergy() const
+{
+    return aesEnergy_ + engine_.totalEnergy() + metadata_.totalEnergy();
+}
+
+void
+DeWriteController::fillStats(StatSet &stats) const
+{
+    stats.set("writes", static_cast<double>(writeRequests()));
+    stats.set("reads", static_cast<double>(readRequests()));
+    stats.set("writes_eliminated",
+              static_cast<double>(writesEliminated()));
+    stats.set("duplicate_commits",
+              static_cast<double>(engine_.duplicateCommits()));
+    stats.set("unique_commits",
+              static_cast<double>(engine_.uniqueCommits()));
+    stats.set("silent_stores", static_cast<double>(engine_.silentStores()));
+    stats.set("collision_mismatches",
+              static_cast<double>(engine_.collisionMismatches()));
+    stats.set("missed_by_pna", static_cast<double>(engine_.missedByPna()));
+    stats.set("missed_by_saturation",
+              static_cast<double>(engine_.missedBySaturation()));
+    stats.set("reencryptions", static_cast<double>(engine_.reencryptions()));
+    stats.set("unsafe_corruptions",
+              static_cast<double>(engine_.unsafeCorruptions()));
+    stats.set("wasted_encryptions",
+              static_cast<double>(wastedEncryptions()));
+    stats.set("prediction_accuracy", predictor_.accuracy());
+    stats.set("overflow_counters",
+              static_cast<double>(engine_.overflowCounters()));
+    stats.set("metadata_writebacks",
+              static_cast<double>(metadata_.nvmWritebacks()));
+    stats.set("metadata_fill_reads",
+              static_cast<double>(metadata_.nvmFillReads()));
+    stats.set("hit_rate_mapping",
+              metadata_.hitRate(MetadataTable::Mapping));
+    stats.set("hit_rate_inverted_hash",
+              metadata_.hitRate(MetadataTable::InvertedHash));
+    stats.set("hit_rate_hash_store",
+              metadata_.hitRate(MetadataTable::HashStore));
+    stats.set("hit_rate_fsm", metadata_.hitRate(MetadataTable::Fsm));
+}
+
+} // namespace dewrite

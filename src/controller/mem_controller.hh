@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The memory-controller interface every scheme implements.
+ *
+ * A controller owns a write/read policy (encryption, deduplication,
+ * bit-level reduction) over a shared NvmDevice. All latencies are
+ * absolute-time based: the caller supplies the issue time and receives
+ * the request latency, which lets the trace-driven core model apply
+ * persistent-memory semantics (writes stall the core until complete).
+ */
+
+#ifndef DEWRITE_CONTROLLER_MEM_CONTROLLER_HH
+#define DEWRITE_CONTROLLER_MEM_CONTROLLER_HH
+
+#include <string>
+
+#include "common/line.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dewrite {
+
+/** Outcome of a write request. */
+struct CtrlWriteResult
+{
+    Time latency = 0;        //!< Issue-to-complete time.
+    bool eliminated = false; //!< No data-line NVM write was needed.
+};
+
+/** Outcome of a read request. */
+struct CtrlReadResult
+{
+    Line data;
+    Time latency = 0;
+    bool valid = false; //!< The line had been written before.
+};
+
+class MemController
+{
+  public:
+    virtual ~MemController() = default;
+
+    /** Writes back one cache line at @p now. */
+    virtual CtrlWriteResult write(LineAddr addr, const Line &data,
+                                  Time now) = 0;
+
+    /** Fetches one cache line at @p now. */
+    virtual CtrlReadResult read(LineAddr addr, Time now) = 0;
+
+    /** Scheme name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Energy consumed by controller-side machinery (AES circuit, dedup
+     * logic, metadata caches) — the NVM device's own energy is
+     * accounted by the device.
+     */
+    virtual Energy controllerEnergy() const = 0;
+
+    /** Exports scheme-specific statistics. */
+    virtual void fillStats(StatSet &stats) const = 0;
+
+    /** @{ Aggregate request accounting common to all schemes. */
+    std::uint64_t writeRequests() const { return writeRequests_.value(); }
+    std::uint64_t readRequests() const { return readRequests_.value(); }
+    std::uint64_t writesEliminated() const
+    {
+        return writesEliminated_.value();
+    }
+    double avgWriteLatency() const { return writeLatency_.mean(); }
+    double avgReadLatency() const { return readLatency_.mean(); }
+
+    /** Cell bits programmed by data writes (Figure 13 numerator). */
+    std::uint64_t dataBitsProgrammed() const
+    {
+        return dataBitsProgrammed_.value();
+    }
+    /** @} */
+
+  protected:
+    /** Subclasses record every request through these. */
+    void
+    noteWrite(Time latency, bool eliminated, std::size_t bits_programmed)
+    {
+        writeRequests_.increment();
+        if (eliminated)
+            writesEliminated_.increment();
+        writeLatency_.add(static_cast<double>(latency));
+        dataBitsProgrammed_.increment(bits_programmed);
+    }
+
+    void
+    noteRead(Time latency)
+    {
+        readRequests_.increment();
+        readLatency_.add(static_cast<double>(latency));
+    }
+
+  private:
+    Counter writeRequests_;
+    Counter readRequests_;
+    Counter writesEliminated_;
+    Counter dataBitsProgrammed_;
+    Accumulator writeLatency_;
+    Accumulator readLatency_;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_CONTROLLER_MEM_CONTROLLER_HH

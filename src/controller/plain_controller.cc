@@ -1,0 +1,38 @@
+/**
+ * @file
+ * PlainController implementation.
+ */
+
+#include "controller/plain_controller.hh"
+
+namespace dewrite {
+
+CtrlWriteResult
+PlainController::write(LineAddr addr, const Line &data, Time now)
+{
+    const NvmAccess access = device_.write(addr, data, now);
+    const Time latency = access.latency(now);
+    noteWrite(latency, false, kLineBits);
+    return { latency, false };
+}
+
+CtrlReadResult
+PlainController::read(LineAddr addr, Time now)
+{
+    CtrlReadResult result;
+    result.valid = device_.isWritten(addr);
+    const NvmAccess access = device_.read(addr, now);
+    result.data = access.data;
+    result.latency = access.latency(now);
+    noteRead(result.latency);
+    return result;
+}
+
+void
+PlainController::fillStats(StatSet &stats) const
+{
+    stats.set("writes", static_cast<double>(writeRequests()));
+    stats.set("reads", static_cast<double>(readRequests()));
+}
+
+} // namespace dewrite

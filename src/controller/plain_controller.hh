@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Unencrypted, non-deduplicated NVM controller.
+ *
+ * The reference point with no controller machinery at all: writes store
+ * plaintext, reads return it. Used by tests as ground truth and by
+ * benches to isolate the cost of encryption itself.
+ */
+
+#ifndef DEWRITE_CONTROLLER_PLAIN_CONTROLLER_HH
+#define DEWRITE_CONTROLLER_PLAIN_CONTROLLER_HH
+
+#include "controller/mem_controller.hh"
+#include "nvm/nvm_device.hh"
+
+namespace dewrite {
+
+class PlainController : public MemController
+{
+  public:
+    explicit PlainController(NvmDevice &device) : device_(device) {}
+
+    CtrlWriteResult write(LineAddr addr, const Line &data,
+                          Time now) override;
+    CtrlReadResult read(LineAddr addr, Time now) override;
+
+    std::string name() const override { return "plain-nvm"; }
+    Energy controllerEnergy() const override { return 0; }
+    void fillStats(StatSet &stats) const override;
+
+  private:
+    NvmDevice &device_;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_CONTROLLER_PLAIN_CONTROLLER_HH

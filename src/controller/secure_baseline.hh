@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The traditional secure-NVM controller (the paper's baseline).
+ *
+ * Counter-mode encryption with an on-chip counter cache and no
+ * deduplication: every write bumps the line's counter, encrypts, and
+ * programs the line; every read fetches the counter (OTP generation
+ * overlaps the array read on a counter-cache hit) and XORs.
+ *
+ * Options compose the Figure 13 comparison points: a bit-level
+ * reduction technique for the cells actually programmed, and Silent
+ * Shredder's zero-line elimination.
+ */
+
+#ifndef DEWRITE_CONTROLLER_SECURE_BASELINE_HH
+#define DEWRITE_CONTROLLER_SECURE_BASELINE_HH
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/counter_cache.hh"
+#include "common/timing.hh"
+#include "controller/bitlevel/bitflip.hh"
+#include "controller/bitlevel/shredder.hh"
+#include "controller/mem_controller.hh"
+#include "crypto/counter_mode.hh"
+#include "nvm/nvm_device.hh"
+
+namespace dewrite {
+
+class SecureBaselineController : public MemController
+{
+  public:
+    struct Options
+    {
+        BitTechnique technique = BitTechnique::None;
+        bool shredZeroLines = false; //!< Silent Shredder composition.
+    };
+
+    SecureBaselineController(const SystemConfig &config, NvmDevice &device,
+                             const AesKey &key, Options options);
+
+    SecureBaselineController(const SystemConfig &config, NvmDevice &device,
+                             const AesKey &key);
+
+    CtrlWriteResult write(LineAddr addr, const Line &data,
+                          Time now) override;
+    CtrlReadResult read(LineAddr addr, Time now) override;
+
+    std::string name() const override;
+    Energy controllerEnergy() const override;
+    void fillStats(StatSet &stats) const override;
+
+    double counterCacheHitRate() const { return counterCache_.hitRate(); }
+    const ZeroLineDirectory &zeroDirectory() const { return zeros_; }
+
+  private:
+    const SystemConfig &config_;
+    NvmDevice &device_;
+    CounterModeEngine cme_;
+    CounterCache counterCache_;
+    Options options_;
+    std::unique_ptr<BitLevelReducer> reducer_;
+    ZeroLineDirectory zeros_;
+
+    std::unordered_map<LineAddr, std::uint64_t> counters_;
+    std::unordered_set<LineAddr> written_;
+    Energy aesEnergy_ = 0;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_CONTROLLER_SECURE_BASELINE_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * CoreModel implementation.
+ */
+
+#include "cpu/core_model.hh"
+
+#include <algorithm>
+
+#include "controller/mem_controller.hh"
+#include "trace/trace.hh"
+
+namespace dewrite {
+
+RunResult
+CoreModel::run(TraceSource &trace, MemController &controller,
+               std::uint64_t max_events)
+{
+    std::vector<TraceSource *> traces{ &trace };
+    return runMulti(traces, controller, max_events);
+}
+
+RunResult
+CoreModel::runMulti(const std::vector<TraceSource *> &traces,
+                    MemController &controller, std::uint64_t max_events)
+{
+    struct CoreState
+    {
+        TraceSource *trace;
+        Time now = 0;
+        MemEvent pending;
+        Time issueAt = 0; //!< now + pending compute phase.
+        bool alive = false;
+        std::vector<Time> storeQueue; //!< In-flight write completions.
+    };
+
+    // The +1 cycle per event is the memory instruction's own issue
+    // slot, so IPC can reach but not exceed one per core.
+    std::vector<CoreState> cores(traces.size());
+    for (std::size_t c = 0; c < traces.size(); ++c) {
+        cores[c].trace = traces[c];
+        cores[c].alive = traces[c]->next(cores[c].pending);
+        cores[c].issueAt = timing_.cycles(cores[c].pending.instGap + 1);
+    }
+
+    RunResult result;
+    for (std::uint64_t issued = 0; issued < max_events; ++issued) {
+        // Issue the globally earliest pending event.
+        CoreState *core = nullptr;
+        for (auto &candidate : cores) {
+            if (candidate.alive &&
+                (!core || candidate.issueAt < core->issueAt)) {
+                core = &candidate;
+            }
+        }
+        if (!core)
+            break; // All traces exhausted.
+
+        core->now = core->issueAt;
+        result.instructions += core->pending.instGap + 1;
+        ++result.events;
+
+        if (core->pending.isWrite) {
+            const CtrlWriteResult write = controller.write(
+                core->pending.addr, core->pending.data, core->now);
+            // The write drains from the persist queue; the core stalls
+            // only when the queue is at capacity (ordering is kept by
+            // queue FIFO order plus per-bank serialization).
+            core->storeQueue.push_back(core->now + write.latency);
+            const unsigned depth = std::max(1u, timing_.storeQueueDepth);
+            while (core->storeQueue.size() >= depth) {
+                core->now = std::max(core->now, core->storeQueue.front());
+                core->storeQueue.erase(core->storeQueue.begin());
+            }
+            ++result.writes;
+            if (write.eliminated)
+                ++result.writesEliminated;
+        } else {
+            const CtrlReadResult read =
+                controller.read(core->pending.addr, core->now);
+            // Loads block the in-order core until the data returns;
+            // persist ordering constrains stores only, so the queue
+            // keeps draining underneath.
+            core->now += read.latency;
+            ++result.reads;
+        }
+
+        core->alive = core->trace->next(core->pending);
+        core->issueAt =
+            core->now + timing_.cycles(core->pending.instGap + 1);
+    }
+
+    Time slowest = 0;
+    for (const auto &core : cores)
+        slowest = std::max(slowest, core.now);
+    result.cycles = slowest / timing_.cyclePeriod;
+    result.ipc = result.cycles
+        ? static_cast<double>(result.instructions) / result.cycles
+        : 0.0;
+    result.avgWriteLatencyNs =
+        controller.avgWriteLatency() / kNanoSecond;
+    result.avgReadLatencyNs = controller.avgReadLatency() / kNanoSecond;
+    return result;
+}
+
+} // namespace dewrite

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The trace-driven in-order core model (the gem5 CPU substitute).
+ *
+ * Executes non-memory instructions at one per cycle and stalls on every
+ * memory event. Reads stall because the core is in-order; writes stall
+ * because this is *persistent* memory — consistency requires ordered
+ * cache-line flushes and fences, so a write's full latency lands on the
+ * critical path (Section III, the premise of the whole paper). IPC is
+ * therefore directly sensitive to the write latency each controller
+ * scheme achieves.
+ */
+
+#ifndef DEWRITE_CPU_CORE_MODEL_HH
+#define DEWRITE_CPU_CORE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/timing.hh"
+#include "common/types.hh"
+
+namespace dewrite {
+
+class MemController;
+class TraceSource;
+
+/** Aggregate outcome of one simulation run. */
+struct RunResult
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t events = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writesEliminated = 0;
+
+    double ipc = 0.0;
+    double avgWriteLatencyNs = 0.0;
+    double avgReadLatencyNs = 0.0;
+
+    /** Filled by System::run: device + controller energy, pJ. */
+    Energy totalEnergy = 0;
+    std::uint64_t nvmLineWrites = 0; //!< Device writes incl. metadata.
+    std::uint64_t nvmLineReads = 0;
+    std::uint64_t bitsProgrammed = 0; //!< Data cells programmed.
+};
+
+class CoreModel
+{
+  public:
+    explicit CoreModel(const TimingConfig &timing) : timing_(timing) {}
+
+    /**
+     * Drives @p controller with up to @p max_events events from
+     * @p trace and returns the core-side accounting (memory-side
+     * fields are zero; System::run completes them).
+     */
+    RunResult run(TraceSource &trace, MemController &controller,
+                  std::uint64_t max_events);
+
+    /**
+     * Multi-core replay: each trace drives one core with its own local
+     * clock; the next event issued is always the globally earliest, so
+     * requests from different cores overlap at the controller and
+     * contend for banks — the condition under which eliminating writes
+     * also accelerates reads (Section I). @p max_events bounds the
+     * total across cores; cycles are the slowest core's, instructions
+     * sum over cores (so IPC is aggregate, up to one per core).
+     */
+    RunResult runMulti(const std::vector<TraceSource *> &traces,
+                       MemController &controller,
+                       std::uint64_t max_events);
+
+  private:
+    const TimingConfig &timing_;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_CPU_CORE_MODEL_HH

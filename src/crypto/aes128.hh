@@ -1,0 +1,64 @@
+/**
+ * @file
+ * AES-128 block cipher (FIPS-197), implemented from scratch.
+ *
+ * DeWrite's memory encryption is built on AES in two modes: counter mode
+ * for data lines (the OTP generator of Figure 1) and direct block
+ * encryption for the metadata region (Section III-B1). This is a
+ * straightforward table-free byte-oriented implementation — the simulator
+ * charges AES *time* from TimingConfig, so software speed only matters
+ * for simulation throughput, and correctness is what the tests verify
+ * (FIPS-197 Appendix C vectors).
+ */
+
+#ifndef DEWRITE_CRYPTO_AES128_HH
+#define DEWRITE_CRYPTO_AES128_HH
+
+#include <array>
+#include <cstdint>
+
+namespace dewrite {
+
+/** A 16-byte AES block. */
+using AesBlock = std::array<std::uint8_t, 16>;
+
+/** A 16-byte AES-128 key. */
+using AesKey = std::array<std::uint8_t, 16>;
+
+/**
+ * AES-128 with a fixed key; the round keys are expanded once at
+ * construction.
+ */
+class Aes128
+{
+  public:
+    explicit Aes128(const AesKey &key);
+
+    /**
+     * Encrypts one 16-byte block (T-table implementation — this is the
+     * simulator's hottest function: every line encryption, OTP, and
+     * dedup confirmation runs 16 of these).
+     */
+    AesBlock encryptBlock(const AesBlock &plaintext) const;
+
+    /**
+     * Byte-oriented straight-from-the-spec encryption, kept as the
+     * reference the T-table path is property-tested against.
+     */
+    AesBlock encryptBlockReference(const AesBlock &plaintext) const;
+
+    /** Decrypts one 16-byte block. */
+    AesBlock decryptBlock(const AesBlock &ciphertext) const;
+
+  private:
+    static constexpr int kRounds = 10;
+
+    /** Expanded round keys: (kRounds + 1) x 16 bytes. */
+    std::array<std::uint8_t, 16 * (kRounds + 1)> roundKeys_;
+
+    void expandKey(const AesKey &key);
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_CRYPTO_AES128_HH

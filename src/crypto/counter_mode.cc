@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Counter-mode engine implementation.
+ */
+
+#include "crypto/counter_mode.hh"
+
+#include <cstring>
+
+namespace dewrite {
+
+CounterModeEngine::CounterModeEngine(const AesKey &key) : cipher_(key)
+{
+}
+
+Line
+CounterModeEngine::makePad(LineAddr addr, std::uint64_t counter) const
+{
+    Line pad;
+    for (std::size_t block = 0; block < kAesBlocksPerLine; ++block) {
+        // Seed block: | addr (8B) | counter (7B) | block index (1B) |.
+        // The counter is at most 28 bits in the stored metadata, so
+        // seven bytes never truncate it.
+        AesBlock seed{};
+        std::memcpy(seed.data(), &addr, 8);
+        std::memcpy(seed.data() + 8, &counter, 7);
+        seed[15] = static_cast<std::uint8_t>(block);
+        const AesBlock otp = cipher_.encryptBlock(seed);
+        std::memcpy(pad.data() + block * kAesBlockSize, otp.data(),
+                    kAesBlockSize);
+    }
+    return pad;
+}
+
+Line
+CounterModeEngine::encryptLine(const Line &plaintext, LineAddr addr,
+                               std::uint64_t counter) const
+{
+    return plaintext ^ makePad(addr, counter);
+}
+
+Line
+CounterModeEngine::decryptLine(const Line &ciphertext, LineAddr addr,
+                               std::uint64_t counter) const
+{
+    // XOR is an involution: decryption is encryption with the same pad.
+    return ciphertext ^ makePad(addr, counter);
+}
+
+} // namespace dewrite

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Direct encryption implementation.
+ */
+
+#include "crypto/direct_encrypt.hh"
+
+#include <cstring>
+
+namespace dewrite {
+
+DirectEncryptEngine::DirectEncryptEngine(const AesKey &key) : cipher_(key)
+{
+}
+
+AesBlock
+DirectEncryptEngine::tweak(LineAddr addr, std::size_t block) const
+{
+    // Encrypt (addr, block index) to derive a whitening mask; reuses the
+    // same AES core the data path has.
+    AesBlock seed{};
+    std::memcpy(seed.data(), &addr, 8);
+    seed[8] = static_cast<std::uint8_t>(block);
+    seed[15] = 0xa5; // Domain separator vs the CME seed layout.
+    return cipher_.encryptBlock(seed);
+}
+
+Line
+DirectEncryptEngine::encryptLine(const Line &plaintext, LineAddr addr) const
+{
+    Line out;
+    for (std::size_t block = 0; block < kAesBlocksPerLine; ++block) {
+        const AesBlock mask = tweak(addr, block);
+        AesBlock in;
+        std::memcpy(in.data(), plaintext.data() + block * kAesBlockSize,
+                    kAesBlockSize);
+        for (std::size_t i = 0; i < kAesBlockSize; ++i)
+            in[i] ^= mask[i];
+        AesBlock enc = cipher_.encryptBlock(in);
+        for (std::size_t i = 0; i < kAesBlockSize; ++i)
+            enc[i] ^= mask[i];
+        std::memcpy(out.data() + block * kAesBlockSize, enc.data(),
+                    kAesBlockSize);
+    }
+    return out;
+}
+
+Line
+DirectEncryptEngine::decryptLine(const Line &ciphertext, LineAddr addr) const
+{
+    Line out;
+    for (std::size_t block = 0; block < kAesBlocksPerLine; ++block) {
+        const AesBlock mask = tweak(addr, block);
+        AesBlock in;
+        std::memcpy(in.data(), ciphertext.data() + block * kAesBlockSize,
+                    kAesBlockSize);
+        for (std::size_t i = 0; i < kAesBlockSize; ++i)
+            in[i] ^= mask[i];
+        AesBlock dec = cipher_.decryptBlock(in);
+        for (std::size_t i = 0; i < kAesBlockSize; ++i)
+            dec[i] ^= mask[i];
+        std::memcpy(out.data() + block * kAesBlockSize, dec.data(),
+                    kAesBlockSize);
+    }
+    return out;
+}
+
+} // namespace dewrite

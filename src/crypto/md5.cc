@@ -1,0 +1,112 @@
+/**
+ * @file
+ * MD5 implementation (RFC 1321), single-shot.
+ */
+
+#include "crypto/md5.hh"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace dewrite {
+
+namespace {
+
+/** Per-round left-rotation amounts (RFC 1321 Section 3.4). */
+constexpr int kShifts[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+};
+
+/**
+ * Sine-derived constants: K[i] = floor(2^32 * |sin(i + 1)|).
+ * Computed at static-initialization time straight from the RFC's
+ * definition rather than transcribed.
+ */
+struct SineTable
+{
+    std::uint32_t k[64];
+
+    SineTable()
+    {
+        for (int i = 0; i < 64; ++i) {
+            k[i] = static_cast<std::uint32_t>(
+                std::floor(std::abs(std::sin(i + 1.0)) * 4294967296.0));
+        }
+    }
+};
+
+const SineTable kSines;
+
+void
+processBlock(std::uint32_t state[4], const std::uint8_t *block)
+{
+    std::uint32_t m[16];
+    for (int i = 0; i < 16; ++i)
+        std::memcpy(&m[i], block + 4 * i, 4); // Little-endian words.
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    for (int i = 0; i < 64; ++i) {
+        std::uint32_t f;
+        int g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (i < 32) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) % 16;
+        } else if (i < 48) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) % 16;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) % 16;
+        }
+        const std::uint32_t temp = d;
+        d = c;
+        c = b;
+        b += std::rotl(a + f + kSines.k[i] + m[g], kShifts[i]);
+        a = temp;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+}
+
+} // namespace
+
+Md5Digest
+md5(const std::uint8_t *data, std::size_t size)
+{
+    std::uint32_t state[4] = { 0x67452301u, 0xefcdab89u, 0x98badcfeu,
+                               0x10325476u };
+
+    // Whole blocks.
+    std::size_t offset = 0;
+    for (; offset + 64 <= size; offset += 64)
+        processBlock(state, data + offset);
+
+    // Padding: 0x80, zeros, 64-bit little-endian bit length.
+    std::uint8_t tail[128] = {};
+    const std::size_t rest = size - offset;
+    std::memcpy(tail, data + offset, rest);
+    tail[rest] = 0x80;
+    const std::size_t padded = rest + 1 <= 56 ? 64 : 128;
+    const std::uint64_t bit_length =
+        static_cast<std::uint64_t>(size) * 8;
+    std::memcpy(tail + padded - 8, &bit_length, 8);
+    processBlock(state, tail);
+    if (padded == 128)
+        processBlock(state, tail + 64);
+
+    Md5Digest digest;
+    std::memcpy(digest.data(), state, 16);
+    return digest;
+}
+
+} // namespace dewrite

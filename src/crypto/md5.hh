@@ -1,0 +1,31 @@
+/**
+ * @file
+ * MD5 (RFC 1321) — the cryptographic fingerprint of "traditional"
+ * deduplication.
+ *
+ * DeWrite's core comparison (Table I) is against storage-style
+ * deduplication that fingerprints data with MD5/SHA-1 and trusts the
+ * digest outright. This implementation makes that comparator
+ * *functional*: the TraditionalDedup configuration really fingerprints
+ * lines with it. MD5 is long broken for security; here it only plays
+ * its historical role as a dedup fingerprint.
+ */
+
+#ifndef DEWRITE_CRYPTO_MD5_HH
+#define DEWRITE_CRYPTO_MD5_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace dewrite {
+
+/** A 128-bit MD5 digest. */
+using Md5Digest = std::array<std::uint8_t, 16>;
+
+/** MD5 of an arbitrary buffer. */
+Md5Digest md5(const std::uint8_t *data, std::size_t size);
+
+} // namespace dewrite
+
+#endif // DEWRITE_CRYPTO_MD5_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * SHA-1 implementation (FIPS 180-1), single-shot.
+ */
+
+#include "crypto/sha1.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace dewrite {
+
+namespace {
+
+void
+processBlock(std::uint32_t state[5], const std::uint8_t *block)
+{
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+               (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+               (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+               static_cast<std::uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 80; ++i)
+        w[i] = std::rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+    std::uint32_t a = state[0], b = state[1], c = state[2];
+    std::uint32_t d = state[3], e = state[4];
+    for (int i = 0; i < 80; ++i) {
+        std::uint32_t f, k;
+        if (i < 20) {
+            f = (b & c) | (~b & d);
+            k = 0x5a827999u;
+        } else if (i < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ed9eba1u;
+        } else if (i < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8f1bbcdcu;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xca62c1d6u;
+        }
+        const std::uint32_t temp = std::rotl(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = std::rotl(b, 30);
+        b = a;
+        a = temp;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+}
+
+} // namespace
+
+Sha1Digest
+sha1(const std::uint8_t *data, std::size_t size)
+{
+    std::uint32_t state[5] = { 0x67452301u, 0xefcdab89u, 0x98badcfeu,
+                               0x10325476u, 0xc3d2e1f0u };
+
+    std::size_t offset = 0;
+    for (; offset + 64 <= size; offset += 64)
+        processBlock(state, data + offset);
+
+    // Padding: 0x80, zeros, 64-bit big-endian bit length.
+    std::uint8_t tail[128] = {};
+    const std::size_t rest = size - offset;
+    std::memcpy(tail, data + offset, rest);
+    tail[rest] = 0x80;
+    const std::size_t padded = rest + 1 <= 56 ? 64 : 128;
+    const std::uint64_t bit_length =
+        static_cast<std::uint64_t>(size) * 8;
+    for (int i = 0; i < 8; ++i) {
+        tail[padded - 1 - i] =
+            static_cast<std::uint8_t>(bit_length >> (8 * i));
+    }
+    processBlock(state, tail);
+    if (padded == 128)
+        processBlock(state, tail + 64);
+
+    Sha1Digest digest;
+    for (int i = 0; i < 5; ++i) {
+        digest[4 * i] = static_cast<std::uint8_t>(state[i] >> 24);
+        digest[4 * i + 1] = static_cast<std::uint8_t>(state[i] >> 16);
+        digest[4 * i + 2] = static_cast<std::uint8_t>(state[i] >> 8);
+        digest[4 * i + 3] = static_cast<std::uint8_t>(state[i]);
+    }
+    return digest;
+}
+
+} // namespace dewrite

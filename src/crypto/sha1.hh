@@ -1,0 +1,28 @@
+/**
+ * @file
+ * SHA-1 (FIPS 180-1) — the other traditional dedup fingerprint of
+ * Table I.
+ *
+ * Like MD5, implemented so the cryptographic-fingerprint comparator is
+ * functional; its security obsolescence is irrelevant to its role
+ * here.
+ */
+
+#ifndef DEWRITE_CRYPTO_SHA1_HH
+#define DEWRITE_CRYPTO_SHA1_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace dewrite {
+
+/** A 160-bit SHA-1 digest. */
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/** SHA-1 of an arbitrary buffer. */
+Sha1Digest sha1(const std::uint8_t *data, std::size_t size);
+
+} // namespace dewrite
+
+#endif // DEWRITE_CRYPTO_SHA1_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * AddressMappingTable implementation.
+ */
+
+#include "dedup/address_mapping.hh"
+
+#include "common/logging.hh"
+
+namespace dewrite {
+
+bool
+AddressMappingTable::isRemapped(LineAddr init_addr) const
+{
+    auto it = entries_.find(init_addr);
+    return it != entries_.end() && it->second.remapped;
+}
+
+LineAddr
+AddressMappingTable::realAddr(LineAddr init_addr) const
+{
+    auto it = entries_.find(init_addr);
+    if (it == entries_.end() || !it->second.remapped)
+        panic("mapping table: realAddr of non-remapped line %llu",
+              static_cast<unsigned long long>(init_addr));
+    return it->second.value;
+}
+
+void
+AddressMappingTable::remap(LineAddr init_addr, LineAddr real_addr)
+{
+    Entry &entry = entries_[init_addr];
+    if (!entry.remapped)
+        ++remapped_;
+    entry.remapped = true;
+    entry.value = real_addr;
+}
+
+void
+AddressMappingTable::clearRemap(LineAddr init_addr)
+{
+    Entry &entry = entries_[init_addr];
+    if (entry.remapped)
+        --remapped_;
+    entry.remapped = false;
+    entry.value = 0;
+}
+
+std::uint64_t
+AddressMappingTable::counter(LineAddr init_addr) const
+{
+    auto it = entries_.find(init_addr);
+    if (it == entries_.end())
+        return 0;
+    if (it->second.remapped)
+        panic("mapping table: counter read from remapped line %llu",
+              static_cast<unsigned long long>(init_addr));
+    return it->second.value;
+}
+
+void
+AddressMappingTable::setCounter(LineAddr init_addr, std::uint64_t counter)
+{
+    Entry &entry = entries_[init_addr];
+    if (entry.remapped)
+        panic("mapping table: counter write to remapped line %llu",
+              static_cast<unsigned long long>(init_addr));
+    entry.value = counter;
+}
+
+} // namespace dewrite

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The address-mapping table (Section III-B2) with counter colocation
+ * (Section III-C).
+ *
+ * Deduplication turns the logical-line -> storage-slot relation from
+ * one-to-one into many-to-one. Entry L of this sequentially-stored table
+ * is a tagged slot: when logical line L's data lives at another slot,
+ * the entry holds that realAddr (flag = 1); otherwise the entry is
+ * "null" and DeWrite reuses it to store slot L's counter-mode encryption
+ * counter (flag = 0), eliminating the baseline's counter table.
+ */
+
+#ifndef DEWRITE_DEDUP_ADDRESS_MAPPING_HH
+#define DEWRITE_DEDUP_ADDRESS_MAPPING_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace dewrite {
+
+class AddressMappingTable
+{
+  public:
+    /** True iff logical line @p init_addr is remapped to another slot. */
+    bool isRemapped(LineAddr init_addr) const;
+
+    /** The slot holding @p init_addr's data; only valid if remapped. */
+    LineAddr realAddr(LineAddr init_addr) const;
+
+    /**
+     * Remaps @p init_addr to @p real_addr. Any counter colocated in the
+     * entry is destroyed: the caller (DedupEngine::setCounterOf) must
+     * save it beforehand and re-home it afterwards.
+     */
+    void remap(LineAddr init_addr, LineAddr real_addr);
+
+    /**
+     * Clears the remapping of @p init_addr; the entry becomes a null
+     * (counter) slot holding 0 until the caller re-homes a counter.
+     */
+    void clearRemap(LineAddr init_addr);
+
+    /**
+     * Counter colocated at entry @p init_addr. Only valid when the entry
+     * is not remapped. Unwritten entries hold counter 0.
+     */
+    std::uint64_t counter(LineAddr init_addr) const;
+
+    /** Stores @p counter; entry must not be remapped. */
+    void setCounter(LineAddr init_addr, std::uint64_t counter);
+
+    /** Number of remapped entries (deduplicated/relocated lines). */
+    std::size_t remappedCount() const { return remapped_; }
+
+    /**
+     * Visits every remapped entry as (initAddr, realAddr). Used by
+     * recovery to recompute reference counts.
+     */
+    template <typename Visitor>
+    void
+    forEachRemapped(Visitor &&visit) const
+    {
+        for (const auto &[init_addr, entry] : entries_) {
+            if (entry.remapped)
+                visit(init_addr, static_cast<LineAddr>(entry.value));
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        bool remapped = false;
+        // Union semantics of the paper's flag bit: realAddr when
+        // remapped, encryption counter otherwise.
+        std::uint64_t value = 0;
+    };
+
+    /** Sparse backing: absent entries are (not remapped, counter 0). */
+    std::unordered_map<LineAddr, Entry> entries_;
+    std::size_t remapped_ = 0;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_DEDUP_ADDRESS_MAPPING_HH

@@ -1,0 +1,456 @@
+/**
+ * @file
+ * DedupEngine implementation.
+ *
+ * Invariants maintained across operations:
+ *  - invHash_[S] holds a hash  <=>  slot S stores live ciphertext
+ *    <=>  the hash store has a record (hash(S), S)  <=>  FSM marks S used.
+ *  - A logical line L with valid data references exactly one slot:
+ *    mapping_[L].realAddr when remapped, else its own slot L.
+ *  - The hash-store reference count of slot S equals the number of
+ *    logical lines referencing S (pinned once saturated at 255).
+ *  - Slot S's encryption counter never decreases and is stored at its
+ *    colocation home (mapping_[S] if null, else invHash_[S] if null,
+ *    else the overflow store).
+ */
+
+#include "dedup/dedup_engine.hh"
+
+#include <algorithm>
+
+#include "common/crc32.hh"
+#include "common/logging.hh"
+#include "nvm/nvm_device.hh"
+
+namespace dewrite {
+
+DedupEngine::DedupEngine(const SystemConfig &config, NvmDevice &device,
+                         MetadataCache &metadata, CounterModeEngine &cme,
+                         Options options)
+    : config_(config), device_(device), metadata_(metadata), cme_(cme),
+      options_(options), fingerprinter_(options.hashFunction),
+      fsm_(config.memory.numLines)
+{
+}
+
+DedupEngine::DedupEngine(const SystemConfig &config, NvmDevice &device,
+                         MetadataCache &metadata, CounterModeEngine &cme)
+    : DedupEngine(config, device, metadata, cme, Options())
+{
+}
+
+std::uint64_t
+DedupEngine::hashIndex(std::uint64_t hash) const
+{
+    return hash % config_.memory.numLines;
+}
+
+std::uint64_t
+DedupEngine::counterOf(LineAddr slot) const
+{
+    if (!mapping_.isRemapped(slot))
+        return mapping_.counter(slot);
+    if (!invHash_.holdsData(slot))
+        return invHash_.counter(slot);
+    auto it = overflow_.find(slot);
+    return it == overflow_.end() ? 0 : it->second;
+}
+
+void
+DedupEngine::setCounterOf(LineAddr slot, std::uint64_t counter)
+{
+    if (!mapping_.isRemapped(slot)) {
+        mapping_.setCounter(slot, counter);
+        overflow_.erase(slot);
+    } else if (!invHash_.holdsData(slot)) {
+        invHash_.setCounter(slot, counter);
+        overflow_.erase(slot);
+    } else {
+        overflow_[slot] = counter;
+    }
+}
+
+std::uint64_t
+DedupEngine::effectiveCounter(LineAddr slot) const
+{
+    auto it = majors_.find(slot);
+    const std::uint64_t major = it == majors_.end() ? 0 : it->second;
+    return (major << options_.counterBits) | counterOf(slot);
+}
+
+std::uint64_t
+DedupEngine::bumpCounter(LineAddr slot)
+{
+    const std::uint64_t mask = (1ULL << options_.counterBits) - 1;
+    const std::uint64_t minor = (counterOf(slot) + 1) & mask;
+    if (minor == 0) {
+        // Minor wrap: the major counter absorbs it so the effective
+        // OTP counter keeps growing (split-counter discipline).
+        ++majors_[slot];
+        counterWraps_.increment();
+    }
+    // The caller re-homes the minor with setCounterOf() *after* its
+    // table mutations; storing it here would race the colocation home.
+    const auto it = majors_.find(slot);
+    const std::uint64_t major = it == majors_.end() ? 0 : it->second;
+    return (major << options_.counterBits) | minor;
+}
+
+Time
+DedupEngine::chargeCounterAccess(LineAddr slot, Time now)
+{
+    // The counter is read from its colocation home; when it has spilled
+    // to the overflow store the probe still touches the mapping entry
+    // first (that is where hardware would look).
+    const MetadataTable table = !mapping_.isRemapped(slot)
+        ? MetadataTable::Mapping
+        : (!invHash_.holdsData(slot) ? MetadataTable::InvertedHash
+                                     : MetadataTable::Mapping);
+    return metadata_.access(table, slot, false, now).latency;
+}
+
+bool
+DedupEngine::references(LineAddr init_addr, LineAddr slot) const
+{
+    if (mapping_.isRemapped(init_addr))
+        return mapping_.realAddr(init_addr) == slot;
+    return init_addr == slot && invHash_.holdsData(init_addr) &&
+           written_.contains(init_addr);
+}
+
+DetectOutcome
+DedupEngine::detect(const Line &plaintext, Time now, bool allow_nvm_fill)
+{
+    DetectOutcome out;
+    out.hash = fingerprinter_.fingerprint(plaintext);
+    Time t = now + fingerprinter_.latency();
+    energy_ += fingerprinter_.energy(config_.energy);
+
+    const MetadataAccessResult probe = metadata_.access(
+        MetadataTable::HashStore, hashIndex(out.hash), false, t,
+        allow_nvm_fill);
+    t += probe.latency;
+
+    if (!probe.hit && !allow_nvm_fill) {
+        // PNA: predicted non-duplicate and not cached on chip — skip the
+        // in-NVM query and treat the line as unique (Section III-B2).
+        // The functional scan below only *counts* the duplicates this
+        // shortcut misses (the ~1.5% of Figure 12's gap); it charges
+        // nothing.
+        const std::vector<HashEntry> &chain = hashStore_.lookup(out.hash);
+        unsigned scanned = 0;
+        for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+            if (++scanned > options_.maxChainProbe)
+                break;
+            if (it->reference == HashStore::kMaxReference)
+                continue;
+            const Line stored = cme_.decryptLine(
+                device_.peek(it->realAddr), it->realAddr,
+                effectiveCounter(it->realAddr));
+            if (stored == plaintext) {
+                missedByPna_.increment();
+                break;
+            }
+        }
+        out.done = t;
+        return out;
+    }
+    out.authoritative = true;
+
+    // Probe newest-first: when a popular content's old records are
+    // pinned at the reference cap, its freshest record is the one with
+    // spare references.
+    const std::vector<HashEntry> &chain = hashStore_.lookup(out.hash);
+    unsigned probes = 0;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        const HashEntry &entry = *it;
+        if (++probes > options_.maxChainProbe)
+            break;
+        const Line stored =
+            cme_.decryptLine(device_.peek(entry.realAddr), entry.realAddr,
+                             effectiveCounter(entry.realAddr));
+        if (entry.reference == HashStore::kMaxReference) {
+            // Highly referenced line: pinned, not deduplicated against
+            // (Section III-B2). Count the elimination this forgoes.
+            if (stored == plaintext)
+                missedBySaturation_.increment();
+            continue;
+        }
+        const bool confirm =
+            options_.confirmByRead && !fingerprinter_.cryptographic();
+        if (confirm) {
+            // Read the candidate and compare byte-by-byte; the OTP for
+            // the decryption is generated while the read is in flight.
+            const Time counter_latency = chargeCounterAccess(entry.realAddr,
+                                                             t);
+            const NvmAccess access = device_.read(entry.realAddr, t);
+            const Time otp_ready =
+                t + counter_latency + config_.timing.aesLine;
+            energy_ += config_.energy.aesLine();
+            t = std::max(access.complete, otp_ready) +
+                config_.timing.lineCompare;
+            energy_ += config_.energy.compareLine;
+            ++out.confirmReads;
+            if (stored == plaintext) {
+                out.duplicate = true;
+                out.dupSlot = entry.realAddr;
+                break;
+            }
+            collisionMismatches_.increment();
+        } else {
+            // Trusted fingerprint: either the cryptographic comparator
+            // (collision-free in practice) or the unsafe CRC ablation.
+            // The functional comparison below only counts the silent
+            // corruptions trusting the digest would cause.
+            out.duplicate = true;
+            out.dupSlot = entry.realAddr;
+            if (!(stored == plaintext))
+                unsafeCorruptions_.increment();
+            break;
+        }
+    }
+    out.done = t;
+    return out;
+}
+
+Time
+DedupEngine::releaseOld(LineAddr init_addr, Time now)
+{
+    Time t = now;
+
+    LineAddr slot = kInvalidAddr;
+    if (mapping_.isRemapped(init_addr)) {
+        slot = mapping_.realAddr(init_addr);
+        if (slot == kNoData)
+            return t;
+    } else if (invHash_.holdsData(init_addr) &&
+               written_.contains(init_addr)) {
+        slot = init_addr;
+    } else {
+        return t; // Never written: nothing to release.
+    }
+
+    // Stale-hash cleaning (Section III-B2): the inverted hash table
+    // recovers the fingerprint of the data the logical line is leaving.
+    t += metadata_.access(MetadataTable::InvertedHash, slot, false, t)
+             .latency;
+    const std::uint64_t stale_hash = invHash_.hash(slot);
+    // The stale record's decrement is a posted read-modify-write: a
+    // stale hash only yields a benign failed comparison later, so it
+    // never blocks the write path.
+    t += metadata_.postUpdate(MetadataTable::HashStore,
+                              hashIndex(stale_hash), t)
+             .latency;
+
+    if (hashStore_.dropReference(stale_hash, slot)) {
+        // Last reference died: reclaim the slot. The counter keeps its
+        // value across the free so a future allocation never reuses an
+        // OTP.
+        const std::uint64_t counter = counterOf(slot);
+        invHash_.clearHash(slot);
+        t += metadata_.access(MetadataTable::InvertedHash, slot, true, t)
+                 .latency;
+        setCounterOf(slot, counter);
+        fsm_.release(slot);
+        t += metadata_.access(MetadataTable::Fsm, slot, true, t).latency;
+    }
+    return t;
+}
+
+WriteCommit
+DedupEngine::commitDuplicate(LineAddr init_addr, const DetectOutcome &detect,
+                             Time now)
+{
+    if (!detect.duplicate)
+        panic("commitDuplicate without a confirmed duplicate");
+
+    WriteCommit commit;
+    commit.slot = detect.dupSlot;
+
+    if (references(init_addr, detect.dupSlot)) {
+        // Silent store: the logical line already points at this exact
+        // content; nothing to update.
+        silentStores_.increment();
+        dupCommits_.increment();
+        commit.done = now;
+        return commit;
+    }
+
+    Time t = now;
+
+    // Take the new reference before releasing the old one, so a
+    // self-release can never momentarily free the slot being joined.
+    t += metadata_.access(MetadataTable::HashStore, hashIndex(detect.hash),
+                          true, t)
+             .latency;
+    if (!hashStore_.addReference(detect.hash, detect.dupSlot))
+        panic("reference saturated between detect and commit");
+
+    t = releaseOld(init_addr, t);
+
+    const std::uint64_t own_counter = counterOf(init_addr);
+    mapping_.remap(init_addr, detect.dupSlot);
+    t += metadata_.access(MetadataTable::Mapping, init_addr, true, t)
+             .latency;
+    setCounterOf(init_addr, own_counter);
+
+    written_.insert(init_addr);
+    dupCommits_.increment();
+    commit.done = t;
+    return commit;
+}
+
+WriteCommit
+DedupEngine::commitUnique(LineAddr init_addr, const Line &plaintext,
+                          std::uint64_t hash, Time now, Time encrypt_ready)
+{
+    WriteCommit commit;
+    Time t = now;
+    LineAddr slot;
+
+    const bool owns_slot_exclusively =
+        !mapping_.isRemapped(init_addr) && invHash_.holdsData(init_addr) &&
+        written_.contains(init_addr) &&
+        hashStore_.reference(invHash_.hash(init_addr), init_addr) == 1;
+
+    if (owns_slot_exclusively) {
+        // In-place overwrite: only this logical line references its
+        // slot, so the old content can simply be replaced after its
+        // stale hash record is dropped.
+        slot = init_addr;
+        t += metadata_.access(MetadataTable::InvertedHash, slot, true, t)
+                 .latency;
+        const std::uint64_t stale_hash = invHash_.hash(slot);
+        t += metadata_.postUpdate(MetadataTable::HashStore,
+                                  hashIndex(stale_hash), t)
+                 .latency;
+        if (!hashStore_.dropReference(stale_hash, slot))
+            panic("exclusive slot's stale record did not die");
+    } else {
+        t = releaseOld(init_addr, t);
+        slot = fsm_.allocatePreferring(init_addr);
+        if (slot == kInvalidAddr)
+            fatal("NVM is full: no free slot for a unique write");
+        t += metadata_.access(MetadataTable::Fsm, slot, true, t).latency;
+
+        if (slot != init_addr && !mapping_.isRemapped(slot)) {
+            // The allocator handed us the slot of a never-written
+            // logical line; mark that line "remapped to nothing" so a
+            // read of it cannot alias the foreign data (DESIGN.md §5).
+            const std::uint64_t foreign_counter = counterOf(slot);
+            mapping_.remap(slot, kNoData);
+            t += metadata_.access(MetadataTable::Mapping, slot, true, t)
+                     .latency;
+            setCounterOf(slot, foreign_counter);
+        }
+    }
+
+    // Bump the slot counter and produce the ciphertext. A schedule that
+    // overlapped encryption with detection encrypted optimistically for
+    // the line's own slot; if the commit landed elsewhere that
+    // ciphertext is useless and the AES runs again.
+    const std::uint64_t counter = bumpCounter(slot);
+    const std::uint64_t minor_counter =
+        counter & ((1ULL << options_.counterBits) - 1);
+    const bool reencrypt = slot != init_addr;
+    Time ciphertext_ready;
+    if (reencrypt) {
+        reencryptions_.increment();
+        energy_ += config_.energy.aesLine();
+        ciphertext_ready = t + config_.timing.aesLine;
+    } else {
+        ciphertext_ready = std::max(encrypt_ready, t);
+    }
+
+    const Line ciphertext = cme_.encryptLine(plaintext, slot, counter);
+    const std::size_t bits = options_.reducer
+        ? options_.reducer->onWrite(slot, plaintext, counter)
+        : kLineBits;
+    const Time write_start = std::max(t, ciphertext_ready);
+    const NvmAccess write = device_.write(slot, ciphertext, write_start,
+                                          bits);
+
+    // Install the new metadata; these cache updates overlap the 300 ns
+    // cell write.
+    Time tm = t;
+    invHash_.setHash(slot, hash);
+    tm += metadata_.access(MetadataTable::InvertedHash, slot, true, tm)
+              .latency;
+    hashStore_.insert(hash, slot);
+    // A brand-new record: no-fetch allocate (nothing to read-modify).
+    tm += metadata_.insertEntry(MetadataTable::HashStore, hashIndex(hash),
+                                tm)
+              .latency;
+
+    if (slot == init_addr) {
+        if (mapping_.isRemapped(init_addr))
+            mapping_.clearRemap(init_addr);
+    } else {
+        // Remapping evicts whatever the mapping entry held; when the
+        // entry was null it was the colocation home of slot
+        // init_addr's own counter (possibly protecting shared data
+        // still stored there), which must move to a new home.
+        const std::uint64_t own_counter = counterOf(init_addr);
+        mapping_.remap(init_addr, slot);
+        setCounterOf(init_addr, own_counter);
+    }
+    tm += metadata_.access(MetadataTable::Mapping, init_addr, true, tm)
+              .latency;
+    setCounterOf(slot, minor_counter);
+
+    written_.insert(init_addr);
+    uniqueCommits_.increment();
+
+    commit.slot = slot;
+    commit.wroteLine = true;
+    commit.reencrypted = reencrypt;
+    commit.bitsProgrammed = bits;
+    commit.done = std::max(write.complete, tm);
+    return commit;
+}
+
+ReadOutcome
+DedupEngine::read(LineAddr init_addr, Time now)
+{
+    ReadOutcome out;
+    Time t = now +
+             metadata_.access(MetadataTable::Mapping, init_addr, false, now)
+                 .latency;
+
+    LineAddr slot;
+    Time counter_latency = 0;
+    if (mapping_.isRemapped(init_addr)) {
+        out.remapped = true;
+        slot = mapping_.realAddr(init_addr);
+        if (slot == kNoData) {
+            out.done = t;
+            return out; // Sentinel: logical line holds no data.
+        }
+        // The shared slot's counter lives at *its* colocation home,
+        // which costs a second metadata access.
+        counter_latency = chargeCounterAccess(slot, t);
+    } else {
+        if (!written_.contains(init_addr) ||
+            !invHash_.holdsData(init_addr)) {
+            out.done = t;
+            return out; // Never written: reads as zero.
+        }
+        // Counter is colocated in the mapping entry just accessed —
+        // this is the payoff of Section III-C on the read path.
+        slot = init_addr;
+    }
+
+    const NvmAccess access = device_.read(slot, t);
+    const Time otp_ready =
+        t + counter_latency + config_.timing.aesLine;
+    energy_ += config_.energy.aesLine();
+
+    out.data = cme_.decryptLine(access.data, slot,
+                                effectiveCounter(slot));
+    out.valid = true;
+    out.done = std::max(access.complete, otp_ready) +
+               config_.timing.otpXor;
+    return out;
+}
+
+} // namespace dewrite

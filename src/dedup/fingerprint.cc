@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fingerprinter implementation.
+ */
+
+#include "dedup/fingerprint.hh"
+
+#include <cstring>
+
+#include "common/crc32.hh"
+#include "common/logging.hh"
+#include "crypto/md5.hh"
+#include "crypto/sha1.hh"
+
+namespace dewrite {
+
+Fingerprinter::Fingerprinter(HashFunction function)
+    : spec_(&hashSpec(function))
+{
+}
+
+std::uint64_t
+Fingerprinter::fingerprint(const Line &line) const
+{
+    switch (spec_->function) {
+      case HashFunction::Crc32:
+        return crc32(line);
+      case HashFunction::Md5: {
+        const Md5Digest digest = md5(line.data(), kLineSize);
+        std::uint64_t key;
+        std::memcpy(&key, digest.data(), 8);
+        return key;
+      }
+      case HashFunction::Sha1: {
+        const Sha1Digest digest = sha1(line.data(), kLineSize);
+        std::uint64_t key;
+        std::memcpy(&key, digest.data(), 8);
+        return key;
+      }
+    }
+    panic("bad hash function");
+}
+
+Energy
+Fingerprinter::energy(const EnergyConfig &energy) const
+{
+    return spec_->function == HashFunction::Crc32 ? energy.crcLine
+                                                  : energy.cryptoHashLine;
+}
+
+} // namespace dewrite

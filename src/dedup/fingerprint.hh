@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Line fingerprinting: the choice Table I is about.
+ *
+ * DeWrite fingerprints lines with CRC-32 (cheap, collides, must be
+ * confirmed by a read); traditional deduplication uses MD5/SHA-1
+ * (expensive, collision-free in practice, trusted outright). The
+ * Fingerprinter folds that choice into one object the engine consults
+ * for the digest, the hardware latency, the energy, and whether a
+ * match needs confirmation.
+ *
+ * Digests are folded to 64 bits for the hash store's key; for the
+ * cryptographic functions a 64-bit prefix keeps the no-collision
+ * property at any realistic memory size (birthday bound ~2^32 lines).
+ */
+
+#ifndef DEWRITE_DEDUP_FINGERPRINT_HH
+#define DEWRITE_DEDUP_FINGERPRINT_HH
+
+#include <cstdint>
+
+#include "common/hash_latency.hh"
+#include "common/line.hh"
+#include "common/timing.hh"
+
+namespace dewrite {
+
+class Fingerprinter
+{
+  public:
+    explicit Fingerprinter(HashFunction function = HashFunction::Crc32);
+
+    /** 64-bit store key of @p line under the selected function. */
+    std::uint64_t fingerprint(const Line &line) const;
+
+    /** Hardware latency to fingerprint one line (Table Ia). */
+    Time latency() const { return spec_->latency; }
+
+    /** Hashing energy per line. */
+    Energy energy(const EnergyConfig &energy) const;
+
+    /** True iff a fingerprint match needs no confirmation read. */
+    bool cryptographic() const { return spec_->cryptographic; }
+
+    /** Digest width, for metadata space accounting. */
+    unsigned digestBits() const { return spec_->digestBits; }
+
+    HashFunction function() const { return spec_->function; }
+
+  private:
+    const HashSpec *spec_;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_DEDUP_FINGERPRINT_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * FreeSpaceTable implementation.
+ */
+
+#include "dedup/free_space.hh"
+
+#include "common/logging.hh"
+
+namespace dewrite {
+
+FreeSpaceTable::FreeSpaceTable(std::uint64_t num_lines)
+    : bits_(num_lines, true), freeCount_(num_lines)
+{
+    if (num_lines == 0)
+        fatal("free-space table needs at least one line");
+}
+
+bool
+FreeSpaceTable::isFree(LineAddr slot) const
+{
+    return bits_[slot];
+}
+
+void
+FreeSpaceTable::allocate(LineAddr slot)
+{
+    if (!bits_[slot])
+        panic("FSM: allocating already-used slot %llu",
+              static_cast<unsigned long long>(slot));
+    bits_[slot] = false;
+    --freeCount_;
+}
+
+void
+FreeSpaceTable::release(LineAddr slot)
+{
+    if (bits_[slot])
+        panic("FSM: releasing already-free slot %llu",
+              static_cast<unsigned long long>(slot));
+    bits_[slot] = true;
+    ++freeCount_;
+}
+
+LineAddr
+FreeSpaceTable::allocatePreferring(LineAddr preferred)
+{
+    if (freeCount_ == 0)
+        return kInvalidAddr;
+    if (preferred < bits_.size() && bits_[preferred]) {
+        allocate(preferred);
+        return preferred;
+    }
+    for (std::uint64_t probes = 0; probes < bits_.size(); ++probes) {
+        const LineAddr slot = cursor_;
+        cursor_ = (cursor_ + 1) % bits_.size();
+        if (bits_[slot]) {
+            allocate(slot);
+            return slot;
+        }
+    }
+    panic("FSM: freeCount %llu but no free slot found",
+          static_cast<unsigned long long>(freeCount_));
+}
+
+} // namespace dewrite

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Free-space management table (Section III-B2).
+ *
+ * Deduplication decouples logical lines from storage slots, so a
+ * rewrite whose old slot is still referenced by other logical lines
+ * needs a fresh slot. The FSM table is a one-bit-per-line bitmap of
+ * free slots with a next-fit allocator. The allocator exposes a
+ * preferred-slot fast path so the engine can keep a logical line in
+ * its own slot whenever possible, which both preserves locality and
+ * keeps the counter-colocation "one of the two entries is null"
+ * invariant (DESIGN.md Section 5) true in the overwhelming majority of
+ * cases.
+ */
+
+#ifndef DEWRITE_DEDUP_FREE_SPACE_HH
+#define DEWRITE_DEDUP_FREE_SPACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dewrite {
+
+class FreeSpaceTable
+{
+  public:
+    /** All @p num_lines slots start free (fresh module). */
+    explicit FreeSpaceTable(std::uint64_t num_lines);
+
+    bool isFree(LineAddr slot) const;
+
+    /** Marks @p slot allocated; it must be free. */
+    void allocate(LineAddr slot);
+
+    /** Marks @p slot free; it must be allocated. */
+    void release(LineAddr slot);
+
+    /**
+     * Allocates a slot, preferring @p preferred if free, otherwise the
+     * next free slot from a roving next-fit cursor.
+     * @return the allocated slot, or kInvalidAddr if memory is full.
+     */
+    LineAddr allocatePreferring(LineAddr preferred);
+
+    std::uint64_t freeCount() const { return freeCount_; }
+    std::uint64_t capacity() const { return bits_.size(); }
+
+  private:
+    std::vector<bool> bits_; //!< true = free.
+    std::uint64_t freeCount_;
+    LineAddr cursor_ = 0;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_DEDUP_FREE_SPACE_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * HashStore implementation.
+ */
+
+#include "dedup/hash_store.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dewrite {
+
+namespace {
+const std::vector<HashEntry> kEmptyChain;
+}
+
+const std::vector<HashEntry> &
+HashStore::lookup(std::uint64_t hash) const
+{
+    auto it = chains_.find(hash);
+    return it == chains_.end() ? kEmptyChain : it->second;
+}
+
+void
+HashStore::insert(std::uint64_t hash, LineAddr real_addr)
+{
+    auto &chain = chains_[hash];
+    for (const auto &entry : chain) {
+        if (entry.realAddr == real_addr)
+            panic("hash store: duplicate insert of slot %llu",
+                  static_cast<unsigned long long>(real_addr));
+    }
+    chain.push_back({ real_addr, 1 });
+    ++size_;
+}
+
+bool
+HashStore::addReference(std::uint64_t hash, LineAddr real_addr)
+{
+    auto it = chains_.find(hash);
+    if (it == chains_.end())
+        panic("hash store: addReference on absent hash 0x%llx",
+              static_cast<unsigned long long>(hash));
+    for (auto &entry : it->second) {
+        if (entry.realAddr == real_addr) {
+            if (entry.reference == kMaxReference) {
+                saturationRefusals_.increment();
+                return false;
+            }
+            ++entry.reference;
+            return true;
+        }
+    }
+    panic("hash store: addReference on absent slot %llu",
+          static_cast<unsigned long long>(real_addr));
+}
+
+bool
+HashStore::dropReference(std::uint64_t hash, LineAddr real_addr)
+{
+    auto it = chains_.find(hash);
+    if (it == chains_.end())
+        panic("hash store: dropReference on absent hash 0x%llx",
+              static_cast<unsigned long long>(hash));
+    auto &chain = it->second;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        if (chain[i].realAddr != real_addr)
+            continue;
+        // A saturated count no longer tracks the true reference number,
+        // so it is pinned: the record outlives its references rather
+        // than risking premature reclamation.
+        if (chain[i].reference == kMaxReference)
+            return false;
+        if (--chain[i].reference > 0)
+            return false;
+        chain.erase(chain.begin() + static_cast<std::ptrdiff_t>(i));
+        --size_;
+        if (chain.empty())
+            chains_.erase(it);
+        return true;
+    }
+    panic("hash store: dropReference on absent slot %llu",
+          static_cast<unsigned long long>(real_addr));
+}
+
+std::uint8_t
+HashStore::reference(std::uint64_t hash, LineAddr real_addr) const
+{
+    for (const auto &entry : lookup(hash)) {
+        if (entry.realAddr == real_addr)
+            return entry.reference;
+    }
+    return 0;
+}
+
+void
+HashStore::restore(std::uint64_t hash, LineAddr real_addr,
+                   std::uint64_t references)
+{
+    insert(hash, real_addr);
+    auto &chain = chains_[hash];
+    chain.back().reference = static_cast<std::uint8_t>(
+        std::min<std::uint64_t>(references, kMaxReference));
+}
+
+std::size_t
+HashStore::collidingEntries() const
+{
+    std::size_t colliding = 0;
+    for (const auto &[hash, chain] : chains_) {
+        if (chain.size() > 1)
+            colliding += chain.size();
+    }
+    return colliding;
+}
+
+std::size_t
+HashStore::maxChainLength() const
+{
+    std::size_t longest = 0;
+    for (const auto &[hash, chain] : chains_)
+        longest = std::max(longest, chain.size());
+    return longest;
+}
+
+} // namespace dewrite

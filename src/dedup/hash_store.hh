@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The hash table for duplication detection (Section III-B2).
+ *
+ * Maps the CRC-32 fingerprint of every valid line in memory to the slot
+ * holding that line and an 8-bit reference count (how many logical
+ * addresses map to the slot). CRC-32 collides, so one hash can chain
+ * several slots whose contents differ; the engine confirms candidates
+ * with a read-and-compare. Reference counts saturate at 255: a line that
+ * reaches 255 references is pinned as "highly referenced" and further
+ * duplicates of it are written normally rather than deduplicated, which
+ * bounds the field width at the cost of a few missed eliminations.
+ */
+
+#ifndef DEWRITE_DEDUP_HASH_STORE_HH
+#define DEWRITE_DEDUP_HASH_STORE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dewrite {
+
+/** One <hash, realAddr, reference> record. */
+struct HashEntry
+{
+    LineAddr realAddr;
+    std::uint8_t reference;
+};
+
+class HashStore
+{
+  public:
+    /** Saturation limit of the 8-bit reference field. */
+    static constexpr std::uint8_t kMaxReference = 255;
+
+    /**
+     * Returns the chain of slots fingerprinted by @p hash (possibly
+     * empty; more than one entry means a CRC collision is live).
+     */
+    const std::vector<HashEntry> &lookup(std::uint64_t hash) const;
+
+    /** Inserts a new record with reference 1. The pair must be absent. */
+    void insert(std::uint64_t hash, LineAddr real_addr);
+
+    /**
+     * Increments the reference of (@p hash, @p real_addr).
+     * @return false if the count is saturated (caller must then treat
+     *         the write as non-duplicate), true otherwise.
+     */
+    bool addReference(std::uint64_t hash, LineAddr real_addr);
+
+    /**
+     * Decrements the reference of (@p hash, @p real_addr).
+     * @return true if the count reached zero and the record was removed
+     *         (the slot no longer holds live data).
+     */
+    bool dropReference(std::uint64_t hash, LineAddr real_addr);
+
+    /** Current reference count, or 0 if the record is absent. */
+    std::uint8_t reference(std::uint64_t hash, LineAddr real_addr) const;
+
+    /**
+     * Recovery-only: installs a record with an explicit reference
+     * count (clamped to the saturation cap). The pair must be absent.
+     */
+    void restore(std::uint64_t hash, LineAddr real_addr,
+                 std::uint64_t references);
+
+    /** Number of live records. */
+    std::size_t size() const { return size_; }
+
+    /** Number of distinct hash values with at least one record. */
+    std::size_t distinctHashes() const { return chains_.size(); }
+
+    /**
+     * Live records whose hash is shared with another live record — the
+     * measure behind Figure 6's collision probability.
+     */
+    std::size_t collidingEntries() const;
+
+    /** Longest live collision chain. */
+    std::size_t maxChainLength() const;
+
+    /** Cumulative saturation refusals (for the Figure 12 miss budget). */
+    std::uint64_t saturationRefusals() const
+    {
+        return saturationRefusals_.value();
+    }
+
+    /** Visits every record (testing / refcount histograms). */
+    template <typename Visitor>
+    void
+    forEach(Visitor &&visit) const
+    {
+        for (const auto &[hash, chain] : chains_) {
+            for (const auto &entry : chain)
+                visit(hash, entry);
+        }
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, std::vector<HashEntry>> chains_;
+    std::size_t size_ = 0;
+    Counter saturationRefusals_;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_DEDUP_HASH_STORE_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * InvertedHashTable implementation.
+ */
+
+#include "dedup/inverted_hash.hh"
+
+#include "common/logging.hh"
+
+namespace dewrite {
+
+bool
+InvertedHashTable::holdsData(LineAddr real_addr) const
+{
+    auto it = entries_.find(real_addr);
+    return it != entries_.end() && it->second.hasHash;
+}
+
+std::uint64_t
+InvertedHashTable::hash(LineAddr real_addr) const
+{
+    auto it = entries_.find(real_addr);
+    if (it == entries_.end() || !it->second.hasHash)
+        panic("inverted hash: hash of empty slot %llu",
+              static_cast<unsigned long long>(real_addr));
+    return it->second.value;
+}
+
+void
+InvertedHashTable::setHash(LineAddr real_addr, std::uint64_t hash)
+{
+    Entry &entry = entries_[real_addr];
+    if (!entry.hasHash)
+        ++dataSlots_;
+    entry.hasHash = true;
+    entry.value = hash;
+}
+
+void
+InvertedHashTable::clearHash(LineAddr real_addr)
+{
+    Entry &entry = entries_[real_addr];
+    if (entry.hasHash)
+        --dataSlots_;
+    entry.hasHash = false;
+    entry.value = 0;
+}
+
+std::uint64_t
+InvertedHashTable::counter(LineAddr real_addr) const
+{
+    auto it = entries_.find(real_addr);
+    if (it == entries_.end())
+        return 0;
+    if (it->second.hasHash)
+        panic("inverted hash: counter read from data slot %llu",
+              static_cast<unsigned long long>(real_addr));
+    return it->second.value;
+}
+
+void
+InvertedHashTable::setCounter(LineAddr real_addr, std::uint64_t counter)
+{
+    Entry &entry = entries_[real_addr];
+    if (entry.hasHash)
+        panic("inverted hash: counter write to data slot %llu",
+              static_cast<unsigned long long>(real_addr));
+    entry.value = counter;
+}
+
+} // namespace dewrite

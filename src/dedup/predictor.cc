@@ -1,0 +1,61 @@
+/**
+ * @file
+ * DupPredictor implementation.
+ */
+
+#include "dedup/predictor.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace dewrite {
+
+DupPredictor::DupPredictor(unsigned history_bits)
+    : historyBits_(history_bits)
+{
+    if (history_bits == 0 || history_bits > 64)
+        fatal("predictor history must be 1..64 bits, got %u", history_bits);
+}
+
+bool
+DupPredictor::predictDuplicate() const
+{
+    if (filled_ == 0)
+        return false; // Cold start: assume non-duplicate.
+    const unsigned ones = std::popcount(window_);
+    if (2 * ones > filled_)
+        return true;
+    if (2 * ones < filled_)
+        return false;
+    // Tie: follow the most recent write's state.
+    return window_ & 1;
+}
+
+void
+DupPredictor::record(bool was_duplicate)
+{
+    window_ = (window_ << 1) | (was_duplicate ? 1 : 0);
+    if (filled_ < historyBits_)
+        ++filled_;
+    window_ &= (historyBits_ == 64) ? ~0ULL : ((1ULL << historyBits_) - 1);
+}
+
+void
+DupPredictor::recordAndScore(bool was_duplicate)
+{
+    predictions_.increment();
+    if (predictDuplicate() == was_duplicate)
+        correct_.increment();
+    record(was_duplicate);
+}
+
+double
+DupPredictor::accuracy() const
+{
+    return predictions_.value()
+        ? static_cast<double>(correct_.value()) / predictions_.value()
+        : 0.0;
+}
+
+} // namespace dewrite

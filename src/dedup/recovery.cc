@@ -1,0 +1,148 @@
+/**
+ * @file
+ * RecoveryManager implementation.
+ */
+
+#include "dedup/recovery.hh"
+
+#include <unordered_map>
+#include <vector>
+
+#include "dedup/dedup_engine.hh"
+#include "nvm/nvm_device.hh"
+
+namespace dewrite {
+
+namespace {
+
+/**
+ * True reference count per slot, recomputed from the durable tables:
+ * remapped logicals pointing at the slot, plus the slot's own logical
+ * when it holds its own data.
+ */
+std::unordered_map<LineAddr, std::uint64_t>
+recomputeReferences(const DedupEngine &engine,
+                    const std::unordered_set<LineAddr> &written)
+{
+    std::unordered_map<LineAddr, std::uint64_t> refs;
+    engine.mapping().forEachRemapped(
+        [&](LineAddr, LineAddr real_addr) {
+            if (real_addr != DedupEngine::kNoData)
+                ++refs[real_addr];
+        });
+    engine.invertedHash().forEachDataSlot(
+        [&](LineAddr slot, std::uint64_t) {
+            if (!engine.mapping().isRemapped(slot) &&
+                written.contains(slot)) {
+                ++refs[slot];
+            }
+        });
+    return refs;
+}
+
+} // namespace
+
+RecoveryManager::RecoveryManager(DedupEngine &engine) : engine_(engine)
+{
+}
+
+AuditReport
+RecoveryManager::audit() const
+{
+    AuditReport report;
+    const auto refs = recomputeReferences(engine_, engine_.written_);
+
+    // Every data slot must have a matching hash-store record with the
+    // true reference count (saturated records are pinned and exempt).
+    engine_.invertedHash().forEachDataSlot(
+        [&](LineAddr slot, std::uint64_t hash) {
+            ++report.hashRecordsChecked;
+            const std::uint8_t recorded =
+                engine_.hashStore().reference(hash, slot);
+            if (recorded == 0) {
+                ++report.missingHashRecords;
+                return;
+            }
+            auto it = refs.find(slot);
+            const std::uint64_t expected =
+                it == refs.end() ? 0 : it->second;
+            if (recorded != HashStore::kMaxReference &&
+                recorded != expected) {
+                ++report.wrongReferences;
+            }
+        });
+
+    // Every record must describe a live data slot with the same hash.
+    engine_.hashStore().forEach(
+        [&](std::uint64_t hash, const HashEntry &entry) {
+            if (!engine_.invertedHash().holdsData(entry.realAddr) ||
+                engine_.invertedHash().hash(entry.realAddr) != hash) {
+                ++report.strayHashRecords;
+            }
+        });
+
+    // The FSM bitmap must mark exactly the data slots as used.
+    for (LineAddr slot = 0; slot < engine_.freeSpace().capacity();
+         ++slot) {
+        const bool holds = engine_.invertedHash().holdsData(slot);
+        if (engine_.freeSpace().isFree(slot) == holds)
+            ++report.fsmMismatches;
+    }
+    return report;
+}
+
+void
+RecoveryManager::simulateCrashDamage()
+{
+    engine_.hashStore_ = HashStore();
+    engine_.fsm_ = FreeSpaceTable(engine_.config_.memory.numLines);
+}
+
+RecoveryReport
+RecoveryManager::rebuild()
+{
+    RecoveryReport report;
+
+    const auto refs = recomputeReferences(engine_, engine_.written_);
+    engine_.mapping().forEachRemapped(
+        [&](LineAddr, LineAddr) { ++report.mappingsScanned; });
+
+    // Start from empty derived structures and restore them from the
+    // durable inverted-hash walk.
+    engine_.hashStore_ = HashStore();
+    engine_.fsm_ = FreeSpaceTable(engine_.config_.memory.numLines);
+
+    std::vector<LineAddr> orphaned;
+    engine_.invertedHash().forEachDataSlot(
+        [&](LineAddr slot, std::uint64_t hash) {
+            ++report.slotsScanned;
+            auto it = refs.find(slot);
+            const std::uint64_t count = it == refs.end() ? 0 : it->second;
+            // A data slot nobody references can only appear if the
+            // crash interrupted a release; reclaim it below.
+            if (count == 0) {
+                orphaned.push_back(slot);
+                return;
+            }
+            engine_.hashStore_.restore(hash, slot, count);
+            engine_.fsm_.allocate(slot);
+            ++report.recordsRebuilt;
+        });
+    for (LineAddr slot : orphaned) {
+        const std::uint64_t counter = engine_.counterOf(slot);
+        engine_.invHash_.clearHash(slot);
+        engine_.setCounterOf(slot, counter);
+    }
+
+    // Scan-time estimate: one sequential pass over the two durable
+    // metadata regions (mapping + inverted hash), spread over the
+    // banks.
+    const SystemConfig &config = engine_.config_;
+    const std::uint64_t region_lines =
+        2 * ((config.memory.numLines * 33 + kLineBits - 1) / kLineBits);
+    report.estimatedScanTime = region_lines * config.timing.nvmRead /
+                               config.timing.numBanks;
+    return report;
+}
+
+} // namespace dewrite

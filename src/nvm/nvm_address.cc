@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Address decoder implementation.
+ */
+
+#include "nvm/nvm_address.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dewrite {
+
+AddressDecoder::AddressDecoder(unsigned num_banks, unsigned lines_per_row,
+                               InterleavePolicy policy)
+    : numBanks_(num_banks), linesPerRow_(std::max(1u, lines_per_row)),
+      policy_(policy)
+{
+    if (num_banks == 0)
+        fatal("address decoder needs at least one bank");
+}
+
+AddressDecoder::AddressDecoder(unsigned num_banks)
+    : AddressDecoder(num_banks, 8, InterleavePolicy::Line)
+{
+}
+
+DecodedAddr
+AddressDecoder::decode(LineAddr addr) const
+{
+    switch (policy_) {
+      case InterleavePolicy::Line:
+        return { static_cast<unsigned>(addr % numBanks_),
+                 addr / numBanks_ };
+      case InterleavePolicy::Row: {
+        const std::uint64_t row_group = addr / linesPerRow_;
+        return { static_cast<unsigned>(row_group % numBanks_),
+                 // Row index within the bank; lines of one group share
+                 // it, so they share the row buffer.
+                 row_group / numBanks_ * linesPerRow_ +
+                     addr % linesPerRow_ };
+      }
+    }
+    panic("bad interleave policy");
+}
+
+} // namespace dewrite

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * NVM address decoding.
+ *
+ * The device interleaves consecutive line addresses across banks so
+ * that streaming accesses spread load, matching the default NVMain
+ * address translator. Only the bank matters for timing in this model;
+ * rows are tracked for wear statistics and debugging.
+ */
+
+#ifndef DEWRITE_NVM_NVM_ADDRESS_HH
+#define DEWRITE_NVM_NVM_ADDRESS_HH
+
+#include "common/types.hh"
+
+namespace dewrite {
+
+/** The physical coordinates a line address decodes to. */
+struct DecodedAddr
+{
+    unsigned bank;
+    std::uint64_t row;
+};
+
+/** How consecutive line addresses map onto banks. */
+enum class InterleavePolicy
+{
+    /**
+     * Consecutive lines rotate across banks (NVMain's default):
+     * streaming accesses spread load, at the cost of row-buffer
+     * locality for sequential runs.
+     */
+    Line,
+
+    /**
+     * A whole row buffer's worth of consecutive lines stays in one
+     * bank before rotating: sequential runs hit the open row, but a
+     * burst to one region serializes on one bank.
+     */
+    Row,
+};
+
+/** Bank/row mapping under a configurable interleave policy. */
+class AddressDecoder
+{
+  public:
+    AddressDecoder(unsigned num_banks, unsigned lines_per_row,
+                   InterleavePolicy policy);
+
+    /** Line-interleaved convenience constructor. */
+    explicit AddressDecoder(unsigned num_banks);
+
+    DecodedAddr decode(LineAddr addr) const;
+
+    unsigned numBanks() const { return numBanks_; }
+    InterleavePolicy policy() const { return policy_; }
+
+  private:
+    unsigned numBanks_;
+    unsigned linesPerRow_;
+    InterleavePolicy policy_;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_NVM_NVM_ADDRESS_HH

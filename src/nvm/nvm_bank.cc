@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Bank timing implementation.
+ */
+
+#include "nvm/nvm_bank.hh"
+
+#include <algorithm>
+
+namespace dewrite {
+
+BankService
+NvmBank::service(Time now, Time duration)
+{
+    const Time start = std::max(now, busyUntil_);
+    const Time complete = start + duration;
+    busyUntil_ = complete;
+    ++accesses_;
+    totalQueueDelay_ += start - now;
+    totalBusyTime_ += duration;
+    return { start, complete, start - now };
+}
+
+} // namespace dewrite

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A single NVM bank's timing state.
+ *
+ * A bank serves one access at a time; an access issued while the bank
+ * is busy queues until the in-flight access finishes. This is the
+ * mechanism behind the paper's read/write interference argument: a
+ * 300 ns write occupies its bank and delays every later read or write
+ * to that bank, so each *eliminated* duplicate write also shortens the
+ * waiting time of the requests behind it.
+ */
+
+#ifndef DEWRITE_NVM_NVM_BANK_HH
+#define DEWRITE_NVM_NVM_BANK_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dewrite {
+
+/** Outcome of scheduling one access on a bank. */
+struct BankService
+{
+    Time start;      //!< When the bank began the access.
+    Time complete;   //!< When the access finished.
+    Time queueDelay; //!< start - issue time.
+};
+
+class NvmBank
+{
+  public:
+    /**
+     * Schedules an access issued at @p now taking @p duration.
+     * The bank is busy until the returned completion time.
+     */
+    BankService service(Time now, Time duration);
+
+    /** Time the bank becomes idle. */
+    Time busyUntil() const { return busyUntil_; }
+
+    /** Total accesses served. */
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Total time accesses spent waiting for this bank. */
+    Time totalQueueDelay() const { return totalQueueDelay_; }
+
+    /** Total time this bank spent servicing accesses. */
+    Time totalBusyTime() const { return totalBusyTime_; }
+
+  private:
+    Time busyUntil_ = 0;
+    Time totalQueueDelay_ = 0;
+    Time totalBusyTime_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_NVM_NVM_BANK_HH

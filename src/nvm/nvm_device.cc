@@ -1,0 +1,115 @@
+/**
+ * @file
+ * NVM device implementation.
+ */
+
+#include "nvm/nvm_device.hh"
+
+#include <algorithm>
+
+namespace dewrite {
+
+NvmDevice::NvmDevice(const SystemConfig &config)
+    : config_(config),
+      decoder_(config.timing.numBanks, config.timing.linesPerRow,
+               config.timing.rowInterleave ? InterleavePolicy::Row
+                                           : InterleavePolicy::Line),
+      banks_(config.timing.numBanks),
+      openRow_(config.timing.numBanks, ~0ULL)
+{
+}
+
+std::uint64_t
+NvmDevice::rowOf(const DecodedAddr &where) const
+{
+    return where.row / std::max(1u, config_.timing.linesPerRow);
+}
+
+NvmAccess
+NvmDevice::read(LineAddr addr, Time now)
+{
+    const DecodedAddr where = decoder_.decode(addr);
+    const bool row_hit = openRow_[where.bank] == rowOf(where);
+    const BankService svc = banks_[where.bank].service(
+        now, row_hit ? config_.timing.nvmRowHit : config_.timing.nvmRead);
+    openRow_[where.bank] = rowOf(where);
+
+    numReads_.increment();
+    if (row_hit) {
+        rowHits_.increment();
+        energy_ += config_.energy.nvmRowHitPerBit * kLineBits;
+    } else {
+        energy_ += config_.energy.nvmReadLine();
+    }
+
+    NvmAccess access;
+    auto it = store_.find(addr);
+    if (it != store_.end())
+        access.data = it->second;
+    access.start = svc.start;
+    access.complete = svc.complete;
+    access.queueDelay = svc.queueDelay;
+    return access;
+}
+
+NvmAccess
+NvmDevice::write(LineAddr addr, const Line &data, Time now,
+                 std::size_t bits_written)
+{
+    const DecodedAddr where = decoder_.decode(addr);
+    const BankService svc =
+        banks_[where.bank].service(now, config_.timing.nvmWrite);
+    openRow_[where.bank] = rowOf(where);
+
+    numWrites_.increment();
+    energy_ += config_.energy.nvmWritePerBit * bits_written;
+    wear_.recordWrite(addr, bits_written);
+    store_[addr] = data;
+
+    NvmAccess access;
+    access.start = svc.start;
+    access.complete = svc.complete;
+    access.queueDelay = svc.queueDelay;
+    return access;
+}
+
+void
+NvmDevice::writeBackground(LineAddr addr, const Line &data,
+                           std::size_t bits_written)
+{
+    numWrites_.increment();
+    numBackgroundWrites_.increment();
+    energy_ += config_.energy.nvmWritePerBit * bits_written;
+    wear_.recordWrite(addr, bits_written);
+    store_[addr] = data;
+}
+
+Line
+NvmDevice::peek(LineAddr addr) const
+{
+    auto it = store_.find(addr);
+    return it == store_.end() ? Line() : it->second;
+}
+
+bool
+NvmDevice::isWritten(LineAddr addr) const
+{
+    return store_.contains(addr);
+}
+
+Time
+NvmDevice::totalQueueDelay() const
+{
+    Time total = 0;
+    for (const auto &bank : banks_)
+        total += bank.totalQueueDelay();
+    return total;
+}
+
+unsigned
+NvmDevice::numBanks() const
+{
+    return static_cast<unsigned>(banks_.size());
+}
+
+} // namespace dewrite

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * StartGapLeveler implementation.
+ */
+
+#include "nvm/start_gap.hh"
+
+#include "common/logging.hh"
+#include "nvm/nvm_device.hh"
+
+namespace dewrite {
+
+StartGapLeveler::StartGapLeveler(std::uint64_t lines,
+                                 std::uint64_t interval)
+    : lines_(lines), interval_(interval), gap_(lines)
+{
+    if (lines == 0)
+        fatal("start-gap needs at least one line");
+    if (interval == 0)
+        fatal("start-gap movement interval must be nonzero");
+}
+
+LineAddr
+StartGapLeveler::translate(LineAddr logical) const
+{
+    // The MICRO'09 formulation: rotate within the N *logical* lines,
+    // then skip over the gap slot. The result lies in [0, N] and never
+    // equals the gap.
+    std::uint64_t physical = (logical + start_) % lines_;
+    if (physical >= gap_)
+        ++physical;
+    return physical;
+}
+
+bool
+StartGapLeveler::recordWrite()
+{
+    if (++sinceMove_ < interval_)
+        return false;
+    sinceMove_ = 0;
+    return true;
+}
+
+void
+StartGapLeveler::performGapMove(NvmDevice &device, Time now)
+{
+    const std::uint64_t physical_lines = lines_ + 1;
+    const std::uint64_t source = (gap_ + lines_) % physical_lines;
+
+    // Copy the gap's neighbour into the gap slot: one read plus one
+    // full-line write of leveling overhead.
+    const NvmAccess read = device.read(source, now);
+    device.write(gap_, read.data, read.complete);
+
+    gap_ = source;
+    if (gap_ == lines_) {
+        // The gap wrapped around: the whole mapping has rotated by one
+        // line.
+        start_ = (start_ + 1) % lines_;
+    }
+    gapMoves_.increment();
+}
+
+double
+StartGapLeveler::overheadFraction() const
+{
+    return 1.0 / static_cast<double>(interval_);
+}
+
+} // namespace dewrite

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Start-Gap wear leveling [Qureshi et al., MICRO'09].
+ *
+ * DeWrite extends lifetime by writing less; wear leveling extends it
+ * by spreading what is still written. Start-Gap is the standard
+ * low-overhead scheme PCM papers assume underneath the controller: one
+ * spare line (the gap) rotates through the physical space, shifting
+ * the logical-to-physical mapping by one line every GapMovement, so a
+ * write hot-spot is smeared over every physical line after a full
+ * rotation. State is two registers (Start, Gap) — no table.
+ *
+ * The leveler is a pure translation layer: translate() maps logical to
+ * physical lines, recordWrite() counts toward the movement interval,
+ * and performGapMove() executes the one-line copy on the device
+ * (charging its read and write). It sits *below* the memory
+ * controllers, so dedup's realAddr slots are logical lines here.
+ */
+
+#ifndef DEWRITE_NVM_START_GAP_HH
+#define DEWRITE_NVM_START_GAP_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dewrite {
+
+class NvmDevice;
+
+class StartGapLeveler
+{
+  public:
+    /**
+     * @param lines Logical lines covered (physical space is lines+1).
+     * @param interval Writes between gap movements (the paper's ψ,
+     *        typically 100).
+     */
+    StartGapLeveler(std::uint64_t lines, std::uint64_t interval);
+
+    /** Physical line currently backing logical @p logical. */
+    LineAddr translate(LineAddr logical) const;
+
+    /**
+     * Accounts one data write; returns true when a gap movement is
+     * due (the caller then invokes performGapMove()).
+     */
+    bool recordWrite();
+
+    /**
+     * Moves the gap by one line: copies the neighbour into the gap
+     * slot through @p device at time @p now and updates the mapping
+     * registers.
+     */
+    void performGapMove(NvmDevice &device, Time now);
+
+    /** @{ Register and statistics access. */
+    std::uint64_t start() const { return start_; }
+    std::uint64_t gap() const { return gap_; }
+    std::uint64_t lines() const { return lines_; }
+    std::uint64_t gapMoves() const { return gapMoves_.value(); }
+    /** @} */
+
+    /**
+     * Write overhead of the leveling: one extra line write per
+     * interval writes.
+     */
+    double overheadFraction() const;
+
+  private:
+    std::uint64_t lines_;    //!< Logical lines; physical = lines_ + 1.
+    std::uint64_t interval_;
+    std::uint64_t start_ = 0;
+    std::uint64_t gap_;      //!< Physical index of the empty slot.
+    std::uint64_t sinceMove_ = 0;
+    Counter gapMoves_;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_NVM_START_GAP_HH

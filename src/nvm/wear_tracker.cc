@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wear tracker implementation.
+ */
+
+#include "nvm/wear_tracker.hh"
+
+#include <algorithm>
+
+namespace dewrite {
+
+void
+WearTracker::recordWrite(LineAddr addr, std::size_t bits_written)
+{
+    const std::uint64_t count = ++lineWrites_[addr];
+    maxLineWrites_ = std::max(maxLineWrites_, count);
+    ++totalWrites_;
+    totalBits_ += bits_written;
+}
+
+std::uint64_t
+WearTracker::lineWrites(LineAddr addr) const
+{
+    auto it = lineWrites_.find(addr);
+    return it == lineWrites_.end() ? 0 : it->second;
+}
+
+double
+WearTracker::relativeLifetime(std::uint64_t cell_endurance,
+                              std::uint64_t leveled_lines) const
+{
+    if (totalWrites_ == 0)
+        return 0.0;
+    const double budget = static_cast<double>(cell_endurance) *
+                          static_cast<double>(leveled_lines);
+    return budget / static_cast<double>(totalWrites_);
+}
+
+} // namespace dewrite

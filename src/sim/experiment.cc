@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Experiment harness implementation.
+ */
+
+#include "sim/experiment.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "common/crc32.hh"
+
+namespace dewrite {
+
+std::uint64_t
+appSeed(const AppProfile &profile)
+{
+    // Stable across runs and platforms: derived from the name only.
+    return 0x5eed0000ULL +
+           crc32(reinterpret_cast<const std::uint8_t *>(
+                     profile.name.data()),
+                 profile.name.size());
+}
+
+std::uint64_t
+experimentEvents()
+{
+    if (const char *env = std::getenv("DEWRITE_EVENTS")) {
+        const unsigned long long parsed = std::strtoull(env, nullptr, 10);
+        if (parsed > 0)
+            return parsed;
+    }
+    return 120000;
+}
+
+ExperimentResult
+runApp(const AppProfile &profile, const SystemConfig &config,
+       const SchemeOptions &scheme, std::uint64_t max_events,
+       std::uint64_t seed)
+{
+    return runAppDetailed(profile, config, scheme, max_events, seed)
+        .result;
+}
+
+ExperimentResult
+runApp(const AppProfile &profile, const SystemConfig &config,
+       const SchemeOptions &scheme)
+{
+    return runApp(profile, config, scheme, experimentEvents(),
+                  appSeed(profile));
+}
+
+DetailedExperiment
+runAppDetailed(const AppProfile &profile, const SystemConfig &config,
+               const SchemeOptions &scheme, std::uint64_t max_events,
+               std::uint64_t seed)
+{
+    DetailedExperiment detailed;
+    detailed.result.app = profile.name;
+
+    // One workload instance per core (a multi-programmed run of the
+    // application), sharing the program-phase state and split across
+    // disjoint address ranges.
+    auto phase = std::make_shared<SharedPhase>();
+    std::vector<std::unique_ptr<SyntheticWorkload>> workloads;
+    std::vector<TraceSource *> traces;
+    const unsigned cores = std::max(1u, config.numCores);
+    for (unsigned core = 0; core < cores; ++core) {
+        workloads.push_back(std::make_unique<SyntheticWorkload>(
+            profile, seed + core,
+            static_cast<LineAddr>(core) * profile.workingSetLines * 2,
+            phase));
+        traces.push_back(workloads.back().get());
+    }
+
+    detailed.system = std::make_unique<System>(config, scheme);
+    detailed.result.scheme = detailed.system->controller().name();
+    detailed.result.run = detailed.system->run(traces, max_events);
+    detailed.system->controller().fillStats(detailed.result.stats);
+    return detailed;
+}
+
+SchemeOptions
+plainScheme()
+{
+    SchemeOptions scheme;
+    scheme.kind = SchemeKind::Plain;
+    return scheme;
+}
+
+SchemeOptions
+secureBaselineScheme()
+{
+    SchemeOptions scheme;
+    scheme.kind = SchemeKind::SecureBaseline;
+    return scheme;
+}
+
+SchemeOptions
+dewriteScheme(DedupMode mode)
+{
+    SchemeOptions scheme;
+    scheme.kind = SchemeKind::DeWrite;
+    scheme.dewrite.mode = mode;
+    return scheme;
+}
+
+} // namespace dewrite

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared experiment harness helpers used by every bench binary.
+ *
+ * Each of the paper's figures compares schemes over the same 20
+ * applications; these helpers standardize how a (workload, scheme)
+ * cell is simulated so that all benches agree on seeds, event counts,
+ * and accounting.
+ */
+
+#ifndef DEWRITE_SIM_EXPERIMENT_HH
+#define DEWRITE_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "sim/system.hh"
+#include "trace/trace_gen.hh"
+
+namespace dewrite {
+
+/** One simulated (application, scheme) cell. */
+struct ExperimentResult
+{
+    std::string app;
+    std::string scheme;
+    RunResult run;
+    StatSet stats; //!< Controller-specific detail counters.
+};
+
+/** Deterministic per-application trace seed. */
+std::uint64_t appSeed(const AppProfile &profile);
+
+/**
+ * Number of trace events per experiment cell. Defaults to 120k;
+ * override with the DEWRITE_EVENTS environment variable to trade
+ * precision for speed.
+ */
+std::uint64_t experimentEvents();
+
+/** Simulates @p profile under @p scheme with the shared defaults. */
+ExperimentResult runApp(const AppProfile &profile,
+                        const SystemConfig &config,
+                        const SchemeOptions &scheme,
+                        std::uint64_t max_events, std::uint64_t seed);
+
+/** Convenience: shared defaults for events and seed. */
+ExperimentResult runApp(const AppProfile &profile,
+                        const SystemConfig &config,
+                        const SchemeOptions &scheme);
+
+/**
+ * Like runApp but keeps the simulated System alive so harnesses can
+ * inspect final component state (hash-store chains, wear, caches).
+ */
+struct DetailedExperiment
+{
+    ExperimentResult result;
+    std::unique_ptr<System> system;
+};
+
+DetailedExperiment runAppDetailed(const AppProfile &profile,
+                                  const SystemConfig &config,
+                                  const SchemeOptions &scheme,
+                                  std::uint64_t max_events,
+                                  std::uint64_t seed);
+
+/** @{ Canonical scheme configurations used across benches. */
+SchemeOptions plainScheme();
+SchemeOptions secureBaselineScheme();
+SchemeOptions dewriteScheme(DedupMode mode);
+/** @} */
+
+} // namespace dewrite
+
+#endif // DEWRITE_SIM_EXPERIMENT_HH

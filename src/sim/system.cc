@@ -1,0 +1,165 @@
+/**
+ * @file
+ * System implementation.
+ */
+
+#include "sim/system.hh"
+
+#include "common/logging.hh"
+#include "controller/plain_controller.hh"
+#include "trace/trace.hh"
+
+namespace dewrite {
+
+namespace {
+
+std::unique_ptr<MemController>
+makeController(const SystemConfig &config, NvmDevice &device,
+               const SchemeOptions &scheme, const AesKey &key)
+{
+    switch (scheme.kind) {
+      case SchemeKind::Plain:
+        return std::make_unique<PlainController>(device);
+      case SchemeKind::SecureBaseline:
+        return std::make_unique<SecureBaselineController>(config, device,
+                                                          key,
+                                                          scheme.baseline);
+      case SchemeKind::DeWrite:
+        return std::make_unique<DeWriteController>(config, device, key,
+                                                   scheme.dewrite);
+    }
+    panic("bad scheme kind");
+}
+
+} // namespace
+
+AesKey
+defaultAesKey()
+{
+    return AesKey{ 0xde, 0x77, 0x12, 0x17, 0xe5, 0xec, 0x12, 0x01,
+                   0x8a, 0x5e, 0xcb, 0x1e, 0x00, 0x1c, 0xaf, 0xe5 };
+}
+
+System::System(const SystemConfig &config, const SchemeOptions &scheme,
+               const AesKey &key)
+    : config_(config), device_(config_), core_(config_.timing)
+{
+    validateConfig(config_);
+    controller_ = makeController(config_, device_, scheme, key);
+}
+
+System::System(const SystemConfig &config, const SchemeOptions &scheme)
+    : System(config, scheme, defaultAesKey())
+{
+}
+
+RunResult
+System::run(TraceSource &trace, std::uint64_t max_events)
+{
+    RunResult result = core_.run(trace, *controller_, max_events);
+    result.totalEnergy = totalEnergy();
+    result.nvmLineWrites = device_.numWrites();
+    result.nvmLineReads = device_.numReads();
+    result.bitsProgrammed = controller_->dataBitsProgrammed();
+    return result;
+}
+
+RunResult
+System::run(const std::vector<TraceSource *> &traces,
+            std::uint64_t max_events)
+{
+    RunResult result = core_.runMulti(traces, *controller_, max_events);
+    result.totalEnergy = totalEnergy();
+    result.nvmLineWrites = device_.numWrites();
+    result.nvmLineReads = device_.numReads();
+    result.bitsProgrammed = controller_->dataBitsProgrammed();
+    return result;
+}
+
+CtrlWriteResult
+System::write(LineAddr addr, const Line &data)
+{
+    const CtrlWriteResult result = controller_->write(addr, data, now_);
+    now_ += result.latency;
+    return result;
+}
+
+CtrlReadResult
+System::read(LineAddr addr)
+{
+    const CtrlReadResult result = controller_->read(addr, now_);
+    now_ += result.latency;
+    return result;
+}
+
+Energy
+System::totalEnergy() const
+{
+    return device_.totalEnergy() + controller_->controllerEnergy();
+}
+
+void
+System::dumpStats(std::FILE *out) const
+{
+    auto emit = [&](const char *name, double value, const char *desc) {
+        std::fprintf(out, "%-40s %20.6g  # %s\n", name, value, desc);
+    };
+
+    std::fprintf(out, "---------- Begin Simulation Statistics "
+                      "----------\n");
+    std::fprintf(out, "# scheme: %s\n", controller_->name().c_str());
+
+    emit("system.sim_picoseconds", static_cast<double>(now_),
+         "simulated time of the direct API");
+    emit("device.num_reads", static_cast<double>(device_.numReads()),
+         "NVM line reads serviced");
+    emit("device.num_writes", static_cast<double>(device_.numWrites()),
+         "NVM line writes serviced (incl. background)");
+    emit("device.background_writes",
+         static_cast<double>(device_.numBackgroundWrites()),
+         "lazily scheduled metadata writes");
+    emit("device.row_buffer_hits",
+         static_cast<double>(device_.rowBufferHits()),
+         "reads served from an open row");
+    emit("device.total_energy_pj",
+         static_cast<double>(device_.totalEnergy()), "array energy");
+    emit("device.queue_delay_ps",
+         static_cast<double>(device_.totalQueueDelay()),
+         "cumulative bank waiting time");
+    emit("device.wear_total_writes",
+         static_cast<double>(device_.wear().totalWrites()),
+         "line writes charged to cells");
+    emit("device.wear_max_line",
+         static_cast<double>(device_.wear().maxLineWrites()),
+         "hottest line's writes");
+
+    emit("controller.write_requests",
+         static_cast<double>(controller_->writeRequests()),
+         "write-backs received");
+    emit("controller.read_requests",
+         static_cast<double>(controller_->readRequests()),
+         "fetches received");
+    emit("controller.writes_eliminated",
+         static_cast<double>(controller_->writesEliminated()),
+         "duplicate writes never programmed");
+    emit("controller.avg_write_latency_ns",
+         controller_->avgWriteLatency() / kNanoSecond,
+         "mean write-back latency");
+    emit("controller.avg_read_latency_ns",
+         controller_->avgReadLatency() / kNanoSecond,
+         "mean fetch latency");
+    emit("controller.energy_pj",
+         static_cast<double>(controller_->controllerEnergy()),
+         "AES + dedup logic + metadata cache energy");
+
+    StatSet details;
+    controller_->fillStats(details);
+    for (const auto &[name, value] : details.all()) {
+        const std::string qualified = "controller." + name;
+        emit(qualified.c_str(), value, "scheme-specific");
+    }
+    std::fprintf(out, "---------- End Simulation Statistics "
+                      "----------\n");
+}
+
+} // namespace dewrite

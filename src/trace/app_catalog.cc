@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Application catalog data.
+ *
+ * Column legend (AppProfile fields in order): name, suite, duplicate
+ * target, zero-given-dup, state persistence, glitch rate, write
+ * fraction, rewrite fraction, max mutated words, working-set lines,
+ * mean instruction gap, popularity theta.
+ */
+
+#include "trace/app_catalog.hh"
+
+#include "common/logging.hh"
+
+namespace dewrite {
+
+const std::vector<AppProfile> &
+appCatalog()
+{
+    static const std::vector<AppProfile> catalog = {
+        // SPEC CPU2006 (12 applications).
+        { "bzip2",        "SPEC",   0.21, 0.15, 0.970, 0.04, 0.45, 0.90, 8,
+          32768, 60.0, 0.6 },
+        { "gcc",          "SPEC",   0.45, 0.20, 0.980, 0.04, 0.50, 0.85, 6,
+          24576, 75.0, 0.7 },
+        { "mcf",          "SPEC",   0.50, 0.15, 0.980, 0.05, 0.55, 0.85, 4,
+          49152, 30.0,  0.6 },
+        { "milc",         "SPEC",   0.55, 0.25, 0.985, 0.04, 0.50, 0.80, 6,
+          65536, 40.0,  0.6 },
+        { "zeusmp",       "SPEC",   0.62, 0.30, 0.980, 0.04, 0.50, 0.85, 6,
+          32768, 50.0, 0.7 },
+        { "cactusADM",    "SPEC",   0.984, 0.10, 0.995, 0.005, 0.60, 0.85, 4,
+          32768, 45.0,  0.8 },
+        { "leslie3d",     "SPEC",   0.52, 0.20, 0.980, 0.04, 0.50, 0.85, 6,
+          32768, 55.0, 0.6 },
+        { "gobmk",        "SPEC",   0.40, 0.20, 0.975, 0.05, 0.45, 0.90, 8,
+          16384, 100.0, 0.7 },
+        { "sjeng",        "SPEC",   0.65, 0.85, 0.980, 0.03, 0.45, 0.90, 8,
+          16384, 90.0, 0.7 },
+        { "libquantum",   "SPEC",   0.90, 0.30, 0.990, 0.01, 0.60, 0.80, 4,
+          49152, 35.0,  0.8 },
+        { "lbm",          "SPEC",   0.93, 0.15, 0.990, 0.01, 0.65, 0.80, 4,
+          65536, 25.0,  0.8 },
+        { "soplex",       "SPEC",   0.48, 0.20, 0.980, 0.04, 0.50, 0.85, 6,
+          24576, 65.0, 0.6 },
+        // PARSEC 2.1 (8 applications).
+        { "blackscholes", "PARSEC", 0.88, 0.30, 0.990, 0.01, 0.55, 0.80, 4,
+          24576, 50.0, 0.8 },
+        { "bodytrack",    "PARSEC", 0.42, 0.25, 0.975, 0.05, 0.50, 0.85, 6,
+          24576, 70.0, 0.7 },
+        { "canneal",      "PARSEC", 0.35, 0.15, 0.975, 0.04, 0.50, 0.85, 6,
+          65536, 45.0,  0.5 },
+        { "ferret",       "PARSEC", 0.50, 0.20, 0.980, 0.04, 0.50, 0.85, 6,
+          32768, 60.0, 0.7 },
+        { "fluidanimate", "PARSEC", 0.70, 0.25, 0.985, 0.03, 0.55, 0.80, 4,
+          32768, 40.0,  0.7 },
+        { "streamcluster","PARSEC", 0.75, 0.30, 0.985, 0.02, 0.60, 0.80, 4,
+          49152, 35.0,  0.7 },
+        { "vips",         "PARSEC", 0.186, 0.20, 0.970, 0.03, 0.50, 0.85, 8,
+          32768, 55.0, 0.6 },
+        { "x264",         "PARSEC", 0.38, 0.20, 0.975, 0.04, 0.55, 0.85, 6,
+          32768, 50.0, 0.7 },
+    };
+    return catalog;
+}
+
+const AppProfile &
+appByName(const std::string &name)
+{
+    for (const AppProfile &profile : appCatalog()) {
+        if (profile.name == name)
+            return profile;
+    }
+    fatal("unknown application '%s'", name.c_str());
+}
+
+} // namespace dewrite

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The catalog of the paper's 20 evaluated applications.
+ *
+ * 12 SPEC CPU2006 and 8 PARSEC 2.1 applications, each with generator
+ * parameters calibrated to the per-application statistics the paper
+ * reports (DESIGN.md Section 2): duplicate fractions spanning
+ * 18.6%..98.4% with a 58% mean, ~16% mean zero-line share with sjeng
+ * zero-dominated, cactusADM / libquantum / lbm / blackscholes above
+ * 80% duplication, bzip2 and vips near the bottom.
+ */
+
+#ifndef DEWRITE_TRACE_APP_CATALOG_HH
+#define DEWRITE_TRACE_APP_CATALOG_HH
+
+#include <vector>
+
+#include "trace/trace_gen.hh"
+
+namespace dewrite {
+
+/** All 20 application profiles, SPEC first, in the paper's spirit. */
+const std::vector<AppProfile> &appCatalog();
+
+/** Looks up a profile by name; calls fatal() if unknown. */
+const AppProfile &appByName(const std::string &name);
+
+} // namespace dewrite
+
+#endif // DEWRITE_TRACE_APP_CATALOG_HH

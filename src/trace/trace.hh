@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Memory-event traces: the interface between workloads and the system.
+ *
+ * A trace is a stream of line-granularity memory events (LLC misses and
+ * write-backs) annotated with the number of non-memory instructions the
+ * core retires before each event — everything the memory-side model
+ * needs from the CPU it replaces (DESIGN.md Section 2).
+ */
+
+#ifndef DEWRITE_TRACE_TRACE_HH
+#define DEWRITE_TRACE_TRACE_HH
+
+#include <cstdint>
+
+#include "common/line.hh"
+#include "common/types.hh"
+
+namespace dewrite {
+
+/** One memory event reaching the memory controller. */
+struct MemEvent
+{
+    bool isWrite = false;
+    LineAddr addr = 0;
+    Line data;                   //!< Write-back content (writes only).
+    std::uint64_t instGap = 0;   //!< Instructions retired since the
+                                 //!< previous memory event.
+};
+
+/** A pull-based stream of memory events. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produces the next event.
+     * @return false when the trace is exhausted (synthetic workloads
+     *         are typically unbounded and always return true).
+     */
+    virtual bool next(MemEvent &event) = 0;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_TRACE_TRACE_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * CounterCache tests (the baseline's counter path).
+ */
+
+#include "cache/counter_cache.hh"
+
+#include <gtest/gtest.h>
+
+#include "nvm/nvm_device.hh"
+
+namespace dewrite {
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig config;
+    config.memory.numLines = 1 << 16;
+    return config;
+}
+
+TEST(CounterCacheTest, MissCostsOneNvmRead)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    CounterCache cache(config, device, config.memory.numLines);
+
+    const MetadataAccessResult miss = cache.access(0, false, 0);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_EQ(miss.nvmReads, 1u);
+    EXPECT_EQ(miss.latency,
+              config.timing.metadataCacheAccess + config.timing.nvmRead);
+}
+
+TEST(CounterCacheTest, SpatialLocalityWithinCounterLine)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    CounterCache cache(config, device, config.memory.numLines);
+
+    cache.access(0, false, 0);
+    // 64 counters share a 256 B counter line.
+    for (LineAddr addr = 1; addr < 64; ++addr)
+        EXPECT_TRUE(cache.access(addr, false, 0).hit) << addr;
+    EXPECT_FALSE(cache.access(64, false, 0).hit);
+}
+
+TEST(CounterCacheTest, DirtyEvictionWritesBack)
+{
+    SystemConfig config = smallConfig();
+    config.memory.counterCacheBytes = 2 * kLineSize; // Two blocks.
+    NvmDevice device(config);
+    CounterCache cache(config, device, config.memory.numLines);
+
+    cache.access(0, /*is_write=*/true, 0);
+    const std::uint64_t before = device.numWrites();
+    for (LineAddr block = 1; block < 64 && device.numWrites() == before;
+         ++block) {
+        cache.access(block * 64, false, 0);
+    }
+    EXPECT_GT(device.numWrites(), before);
+    EXPECT_GT(cache.dirtyEvictions(), 0u);
+}
+
+TEST(CounterCacheTest, RegionSizedForAllCounters)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    CounterCache cache(config, device, config.memory.numLines);
+    EXPECT_EQ(cache.regionLines(), config.memory.numLines / 64);
+}
+
+TEST(CounterCacheTest, HitRateReflectsReuse)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    CounterCache cache(config, device, config.memory.numLines);
+    cache.access(10, false, 0);
+    cache.access(10, false, 0);
+    cache.access(10, false, 0);
+    cache.access(10000, false, 0);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+}
+
+} // namespace
+} // namespace dewrite

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * MetadataCache tests: partitioning, fills, writebacks, prefetch.
+ */
+
+#include "cache/metadata_cache.hh"
+
+#include <gtest/gtest.h>
+
+#include "nvm/nvm_device.hh"
+
+namespace dewrite {
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig config;
+    config.memory.numLines = 1 << 16;
+    return config;
+}
+
+TEST(MetadataCacheTest, MissFillsThenHits)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    MetadataCache cache(config, device, config.memory.numLines);
+
+    const MetadataAccessResult miss =
+        cache.access(MetadataTable::Mapping, 0, false, 0);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_GT(miss.nvmReads, 0u);
+    EXPECT_GT(miss.latency, config.timing.metadataCacheAccess);
+
+    const MetadataAccessResult hit =
+        cache.access(MetadataTable::Mapping, 0, false, 0);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.nvmReads, 0u);
+    EXPECT_EQ(hit.latency, config.timing.metadataCacheAccess);
+}
+
+TEST(MetadataCacheTest, PrefetchCoversNeighbors)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    MetadataCache cache(config, device, config.memory.numLines);
+
+    cache.access(MetadataTable::Mapping, 0, false, 0);
+    // All entries of the same prefetch block hit without new fills.
+    for (std::uint64_t i = 1; i < config.memory.prefetchEntries; ++i) {
+        EXPECT_TRUE(
+            cache.access(MetadataTable::Mapping, i, false, 0).hit)
+            << "entry " << i;
+    }
+    // The next block misses.
+    EXPECT_FALSE(cache
+                     .access(MetadataTable::Mapping,
+                             config.memory.prefetchEntries, false, 0)
+                     .hit);
+}
+
+TEST(MetadataCacheTest, DenyFillLeavesCacheCold)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    MetadataCache cache(config, device, config.memory.numLines);
+
+    const MetadataAccessResult skipped = cache.access(
+        MetadataTable::HashStore, 5, false, 0, /*allow_fill=*/false);
+    EXPECT_FALSE(skipped.hit);
+    EXPECT_EQ(skipped.nvmReads, 0u);
+    EXPECT_EQ(skipped.latency, config.timing.metadataCacheAccess);
+    // Still cold: a later allowed access must fill.
+    EXPECT_FALSE(
+        cache.access(MetadataTable::HashStore, 5, false, 0).hit);
+    EXPECT_EQ(device.numReads(), 1u);
+}
+
+TEST(MetadataCacheTest, PartitionsAreIndependent)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    MetadataCache cache(config, device, config.memory.numLines);
+
+    cache.access(MetadataTable::Mapping, 0, false, 0);
+    // Same index in a different table is a distinct block.
+    EXPECT_FALSE(
+        cache.access(MetadataTable::InvertedHash, 0, false, 0).hit);
+    EXPECT_TRUE(
+        cache.access(MetadataTable::Mapping, 0, false, 0).hit);
+}
+
+TEST(MetadataCacheTest, DirtyEvictionWritesBack)
+{
+    SystemConfig config = smallConfig();
+    // Shrink the mapping partition to one block so a second distinct
+    // block evicts the first.
+    config.memory.mappingCacheBytes = 512;
+    config.memory.prefetchEntries = 64; // 64 x 33 bits -> 2 lines? 1.03 -> 2.
+    NvmDevice device(config);
+    MetadataCache cache(config, device, config.memory.numLines);
+
+    cache.access(MetadataTable::Mapping, 0, /*is_write=*/true, 0);
+    const std::uint64_t before = device.numWrites();
+
+    // Touch distinct blocks until the dirty one is evicted.
+    MetadataAccessResult last;
+    for (std::uint64_t block = 1; block < 64; ++block) {
+        last = cache.access(MetadataTable::Mapping,
+                            block * config.memory.prefetchEntries, false,
+                            0);
+        if (last.nvmWrites > 0)
+            break;
+    }
+    EXPECT_GT(device.numWrites(), before);
+    EXPECT_GT(cache.nvmWritebacks(), 0u);
+}
+
+TEST(MetadataCacheTest, FsmPacksManyEntriesPerBlock)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    MetadataCache cache(config, device, config.memory.numLines);
+
+    cache.access(MetadataTable::Fsm, 0, false, 0);
+    // 2048 one-bit flags share one NVM line.
+    EXPECT_TRUE(cache.access(MetadataTable::Fsm, 2047, false, 0).hit);
+    EXPECT_FALSE(cache.access(MetadataTable::Fsm, 2048, false, 0).hit);
+}
+
+TEST(MetadataCacheTest, FlushAllWritesDirtyBlocks)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    MetadataCache cache(config, device, config.memory.numLines);
+
+    cache.access(MetadataTable::Mapping, 0, true, 0);
+    cache.access(MetadataTable::Fsm, 0, true, 0);
+    const std::uint64_t before = device.numWrites();
+    cache.flushAll(0);
+    EXPECT_GT(device.numWrites(), before);
+    // A second flush writes nothing: everything is clean.
+    const std::uint64_t after = device.numWrites();
+    cache.flushAll(0);
+    EXPECT_EQ(device.numWrites(), after);
+}
+
+TEST(MetadataCacheTest, InsertEntryAllocatesWithoutFill)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    MetadataCache cache(config, device, config.memory.numLines);
+
+    const MetadataAccessResult insert =
+        cache.insertEntry(MetadataTable::HashStore, 1234, 0);
+    EXPECT_FALSE(insert.hit);
+    EXPECT_EQ(insert.nvmReads, 0u);
+    EXPECT_EQ(device.numReads(), 0u);
+    EXPECT_EQ(insert.latency, config.timing.metadataCacheAccess);
+
+    // The block is now resident (and dirty).
+    EXPECT_TRUE(
+        cache.access(MetadataTable::HashStore, 1234, false, 0).hit);
+}
+
+TEST(MetadataCacheTest, InsertEntryEvictionWritesBackInBackground)
+{
+    SystemConfig config = smallConfig();
+    config.memory.hashCacheBytes = kLineSize; // One block only.
+    NvmDevice device(config);
+    MetadataCache cache(config, device, config.memory.numLines);
+
+    // The smallest cache still holds one 8-way set; enough distinct
+    // dirty blocks displace the early ones.
+    const std::uint64_t entries_per_block = kLineBits / 72;
+    for (std::uint64_t block = 0; block < 20; ++block) {
+        cache.insertEntry(MetadataTable::HashStore,
+                          entries_per_block * block, 0);
+    }
+    EXPECT_GE(cache.nvmWritebacks(), 1u);
+    EXPECT_GE(device.numBackgroundWrites(), 1u);
+}
+
+TEST(MetadataCacheTest, WriteThroughPropagatesEveryUpdate)
+{
+    SystemConfig config = smallConfig();
+    config.memory.metadataWritePolicy =
+        MetadataWritePolicy::WriteThrough;
+    NvmDevice device(config);
+    MetadataCache cache(config, device, config.memory.numLines);
+
+    cache.access(MetadataTable::Mapping, 0, /*is_write=*/true, 0);
+    const std::uint64_t after_first = device.numBackgroundWrites();
+    EXPECT_GE(after_first, 1u);
+    // Every further write re-propagates; no dirty state accumulates.
+    cache.access(MetadataTable::Mapping, 0, true, 0);
+    EXPECT_GT(device.numBackgroundWrites(), after_first);
+    cache.flushAll(0);
+    EXPECT_EQ(cache.dirtyEvictions(MetadataTable::Mapping), 0u);
+}
+
+TEST(MetadataCacheTest, LazyPolicyCoalescesWrites)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    MetadataCache cache(config, device, config.memory.numLines);
+
+    // Many writes to one resident block: no NVM write until eviction
+    // or flush.
+    cache.access(MetadataTable::Mapping, 0, true, 0);
+    for (int i = 0; i < 50; ++i)
+        cache.access(MetadataTable::Mapping, i % 8, true, 0);
+    EXPECT_EQ(device.numBackgroundWrites(), 0u);
+    cache.flushAll(0);
+    EXPECT_GE(device.numBackgroundWrites(), 1u);
+}
+
+TEST(MetadataCacheTest, RegionSpansScaleWithMemory)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    MetadataCache cache(config, device, config.memory.numLines);
+    // 33+33+72+1 = 139 bits per line of metadata over 2048-bit lines:
+    // ~6.8% of the line count.
+    const double ratio = static_cast<double>(cache.regionLines()) /
+                         static_cast<double>(config.memory.numLines);
+    EXPECT_NEAR(ratio, 139.0 / 2048.0, 0.01);
+}
+
+TEST(MetadataCacheTest, HitRatePerTable)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    MetadataCache cache(config, device, config.memory.numLines);
+    cache.access(MetadataTable::Mapping, 0, false, 0);
+    cache.access(MetadataTable::Mapping, 1, false, 0);
+    cache.access(MetadataTable::Mapping, 2, false, 0);
+    EXPECT_NEAR(cache.hitRate(MetadataTable::Mapping), 2.0 / 3.0, 1e-9);
+    EXPECT_EQ(cache.hitRate(MetadataTable::Fsm), 0.0);
+}
+
+} // namespace
+} // namespace dewrite

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * SetAssocCache unit tests.
+ */
+
+#include "cache/set_assoc_cache.hh"
+
+#include <gtest/gtest.h>
+
+namespace dewrite {
+namespace {
+
+TEST(SetAssocCacheTest, MissThenHit)
+{
+    SetAssocCache cache(64, 8);
+    EXPECT_FALSE(cache.access(1, false));
+    cache.insert(1, false);
+    EXPECT_TRUE(cache.access(1, false));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SetAssocCacheTest, CapacityRounding)
+{
+    SetAssocCache cache(10, 4);
+    EXPECT_EQ(cache.numSets(), 2u);
+    EXPECT_EQ(cache.numBlocks(), 8u);
+}
+
+TEST(SetAssocCacheTest, LruEvictsOldest)
+{
+    // One set of two ways: the third insert evicts the least recently
+    // used of the first two.
+    SetAssocCache cache(2, 2);
+    cache.insert(10, false);
+    cache.insert(20, false);
+    cache.access(10, false); // 20 becomes LRU.
+    const CacheEviction eviction = cache.insert(30, false);
+    ASSERT_TRUE(eviction.valid);
+    EXPECT_EQ(eviction.key, 20u);
+    EXPECT_TRUE(cache.contains(10));
+    EXPECT_TRUE(cache.contains(30));
+    EXPECT_FALSE(cache.contains(20));
+}
+
+TEST(SetAssocCacheTest, DirtyPropagatesToEviction)
+{
+    SetAssocCache cache(1, 1);
+    cache.insert(1, false);
+    cache.access(1, /*make_dirty=*/true);
+    const CacheEviction eviction = cache.insert(2, false);
+    ASSERT_TRUE(eviction.valid);
+    EXPECT_TRUE(eviction.dirty);
+    EXPECT_EQ(cache.dirtyEvictions(), 1u);
+}
+
+TEST(SetAssocCacheTest, CleanEvictionIsNotDirty)
+{
+    SetAssocCache cache(1, 1);
+    cache.insert(1, false);
+    const CacheEviction eviction = cache.insert(2, false);
+    ASSERT_TRUE(eviction.valid);
+    EXPECT_FALSE(eviction.dirty);
+    EXPECT_EQ(cache.dirtyEvictions(), 0u);
+}
+
+TEST(SetAssocCacheTest, InsertDirtyDirectly)
+{
+    SetAssocCache cache(1, 1);
+    cache.insert(5, /*dirty=*/true);
+    const CacheEviction eviction = cache.insert(6, false);
+    EXPECT_TRUE(eviction.dirty);
+}
+
+TEST(SetAssocCacheTest, InvalidateRemovesEntry)
+{
+    SetAssocCache cache(8, 2);
+    cache.insert(3, true);
+    const CacheEviction eviction = cache.invalidate(3);
+    EXPECT_TRUE(eviction.valid);
+    EXPECT_TRUE(eviction.dirty);
+    EXPECT_FALSE(cache.contains(3));
+    EXPECT_FALSE(cache.invalidate(3).valid);
+}
+
+TEST(SetAssocCacheTest, HitRateComputation)
+{
+    SetAssocCache cache(8, 2);
+    cache.insert(1, false);
+    cache.access(1, false);
+    cache.access(1, false);
+    cache.access(2, false); // Miss.
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 2.0 / 3.0);
+}
+
+TEST(SetAssocCacheTest, DirtyKeysAndCleanAll)
+{
+    SetAssocCache cache(8, 4);
+    cache.insert(1, true);
+    cache.insert(2, false);
+    cache.insert(3, true);
+    auto dirty = cache.dirtyKeys();
+    std::sort(dirty.begin(), dirty.end());
+    ASSERT_EQ(dirty.size(), 2u);
+    EXPECT_EQ(dirty[0], 1u);
+    EXPECT_EQ(dirty[1], 3u);
+    cache.cleanAll();
+    EXPECT_TRUE(cache.dirtyKeys().empty());
+}
+
+TEST(SetAssocCacheTest, FlushEmptiesContents)
+{
+    SetAssocCache cache(8, 2);
+    cache.insert(1, false);
+    cache.flush();
+    EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(SetAssocCacheDeathTest, DoubleInsertPanics)
+{
+    SetAssocCache cache(8, 2);
+    cache.insert(1, false);
+    EXPECT_DEATH(cache.insert(1, false), "already resident");
+}
+
+TEST(SetAssocCacheTest, ManyKeysRespectCapacity)
+{
+    SetAssocCache cache(64, 8);
+    for (std::uint64_t key = 0; key < 1000; ++key)
+        cache.insert(key, false);
+    std::size_t resident = 0;
+    for (std::uint64_t key = 0; key < 1000; ++key)
+        resident += cache.contains(key);
+    EXPECT_EQ(resident, 64u);
+}
+
+} // namespace
+} // namespace dewrite

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * CRC-32 unit tests, anchored to published check values.
+ */
+
+#include "common/crc32.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hh"
+
+namespace dewrite {
+namespace {
+
+TEST(Crc32Test, StandardCheckValue)
+{
+    // The canonical CRC-32 check: crc32("123456789") == 0xcbf43926.
+    const char *msg = "123456789";
+    EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t *>(msg),
+                    std::strlen(msg)),
+              0xcbf43926u);
+}
+
+TEST(Crc32Test, EmptyInput)
+{
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32Test, KnownSingleByte)
+{
+    const std::uint8_t byte = 0x00;
+    EXPECT_EQ(crc32(&byte, 1), 0xd202ef8du);
+}
+
+TEST(Crc32Test, LineOverloadMatchesBufferOverload)
+{
+    Rng rng(11);
+    const Line line = Line::random(rng);
+    EXPECT_EQ(crc32(line), crc32(line.data(), kLineSize));
+}
+
+TEST(Crc32Test, SensitiveToEveryBytePosition)
+{
+    Line base;
+    const std::uint32_t h0 = crc32(base);
+    for (std::size_t i = 0; i < kLineSize; i += 17) {
+        Line tweaked = base;
+        tweaked.setByte(i, 1);
+        EXPECT_NE(crc32(tweaked), h0) << "byte " << i;
+    }
+}
+
+TEST(Crc32Test, DeterministicAcrossCalls)
+{
+    Rng rng(12);
+    const Line line = Line::random(rng);
+    EXPECT_EQ(crc32(line), crc32(line));
+}
+
+} // namespace
+} // namespace dewrite

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the Line value type.
+ */
+
+#include "common/line.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace dewrite {
+namespace {
+
+TEST(LineTest, DefaultIsZero)
+{
+    Line line;
+    EXPECT_TRUE(line.isZero());
+    EXPECT_EQ(line.popcount(), 0u);
+    for (std::size_t i = 0; i < kLineSize; ++i)
+        EXPECT_EQ(line.byte(i), 0);
+}
+
+TEST(LineTest, FilledLine)
+{
+    const Line line = Line::filled(0xab);
+    EXPECT_FALSE(line.isZero());
+    for (std::size_t i = 0; i < kLineSize; ++i)
+        EXPECT_EQ(line.byte(i), 0xab);
+}
+
+TEST(LineTest, PatternRoundTripsThroughWords)
+{
+    const Line line = Line::pattern(0x0123456789abcdefULL);
+    for (std::size_t i = 0; i < kLineSize / 8; ++i)
+        EXPECT_EQ(line.word64(i), 0x0123456789abcdefULL);
+}
+
+TEST(LineTest, SetWordChangesOnlyThatWord)
+{
+    Line line;
+    line.setWord64(3, ~0ULL);
+    EXPECT_EQ(line.word64(2), 0u);
+    EXPECT_EQ(line.word64(3), ~0ULL);
+    EXPECT_EQ(line.word64(4), 0u);
+    EXPECT_EQ(line.popcount(), 64u);
+}
+
+TEST(LineTest, Word16Access)
+{
+    Line line;
+    line.setWord16(5, 0xbeef);
+    EXPECT_EQ(line.word16(5), 0xbeef);
+    EXPECT_EQ(line.byte(10), 0xef); // Little-endian layout.
+    EXPECT_EQ(line.byte(11), 0xbe);
+}
+
+TEST(LineTest, EqualityIsBytewise)
+{
+    Rng rng(1);
+    const Line a = Line::random(rng);
+    Line b = a;
+    EXPECT_EQ(a, b);
+    b.setByte(kLineSize - 1, b.byte(kLineSize - 1) ^ 1);
+    EXPECT_NE(a, b);
+}
+
+TEST(LineTest, XorIsInvolution)
+{
+    Rng rng(2);
+    const Line a = Line::random(rng);
+    const Line b = Line::random(rng);
+    EXPECT_EQ((a ^ b) ^ b, a);
+}
+
+TEST(LineTest, BitDistanceCountsDifferingBits)
+{
+    Line a;
+    Line b;
+    b.setWord64(0, 0b1011);
+    EXPECT_EQ(a.bitDistance(b), 3u);
+    EXPECT_EQ(b.bitDistance(a), 3u);
+    EXPECT_EQ(a.bitDistance(a), 0u);
+}
+
+TEST(LineTest, InvertedFlipsEveryBit)
+{
+    Rng rng(3);
+    const Line a = Line::random(rng);
+    const Line inv = a.inverted();
+    EXPECT_EQ(a.bitDistance(inv), kLineBits);
+    EXPECT_EQ(inv.inverted(), a);
+}
+
+TEST(LineTest, FromBytesCopiesExactly)
+{
+    std::uint8_t raw[kLineSize];
+    for (std::size_t i = 0; i < kLineSize; ++i)
+        raw[i] = static_cast<std::uint8_t>(i * 7);
+    const Line line = Line::fromBytes(raw);
+    for (std::size_t i = 0; i < kLineSize; ++i)
+        EXPECT_EQ(line.byte(i), static_cast<std::uint8_t>(i * 7));
+}
+
+TEST(LineTest, ContentDigestDistinguishesContent)
+{
+    Rng rng(4);
+    const Line a = Line::random(rng);
+    Line b = a;
+    EXPECT_EQ(a.contentDigest(), b.contentDigest());
+    b.setByte(0, b.byte(0) ^ 0x80);
+    EXPECT_NE(a.contentDigest(), b.contentDigest());
+}
+
+TEST(LineTest, RandomLinesDiffer)
+{
+    Rng rng(5);
+    const Line a = Line::random(rng);
+    const Line b = Line::random(rng);
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace dewrite

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Rng unit tests: determinism and sampler sanity.
+ */
+
+#include "common/rng.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dewrite {
+namespace {
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next64() == b.next64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(13), 13u);
+}
+
+TEST(RngTest, NextBelowCoversRange)
+{
+    Rng rng(8);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++seen[rng.nextBelow(8)];
+    for (int bucket = 0; bucket < 8; ++bucket)
+        EXPECT_GT(seen[bucket], 700) << "bucket " << bucket;
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(10);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngTest, ChanceApproximatesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect)
+{
+    Rng rng(12);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextExponential(100.0));
+    // Integer truncation shifts the mean down by ~0.5.
+    EXPECT_NEAR(sum / n, 99.5, 3.0);
+}
+
+TEST(RngTest, ZipfStaysInRange)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextZipf(100, 0.8), 100u);
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks)
+{
+    Rng rng(14);
+    const int n = 50000;
+    int low = 0;
+    for (int i = 0; i < n; ++i)
+        low += rng.nextZipf(1000, 0.9) < 100;
+    // Under a uniform law 'low' would be ~10%; Zipf concentrates mass.
+    EXPECT_GT(low, n / 3);
+}
+
+TEST(RngTest, ZipfDegenerateBounds)
+{
+    Rng rng(15);
+    EXPECT_EQ(rng.nextZipf(1, 0.9), 0u);
+    EXPECT_EQ(rng.nextZipf(0, 0.9), 0u);
+}
+
+} // namespace
+} // namespace dewrite

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Statistics primitives tests.
+ */
+
+#include "common/stats.hh"
+
+#include <gtest/gtest.h>
+
+namespace dewrite {
+namespace {
+
+TEST(CounterTest, IncrementAndReset)
+{
+    Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    counter.increment();
+    counter.increment(5);
+    EXPECT_EQ(counter.value(), 6u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(AccumulatorTest, EmptyIsAllZero)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_EQ(acc.mean(), 0.0);
+    EXPECT_EQ(acc.min(), 0.0);
+    EXPECT_EQ(acc.max(), 0.0);
+}
+
+TEST(AccumulatorTest, TracksMoments)
+{
+    Accumulator acc;
+    acc.add(2.0);
+    acc.add(4.0);
+    acc.add(9.0);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.sum(), 15.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(AccumulatorTest, SingleNegativeSample)
+{
+    Accumulator acc;
+    acc.add(-3.0);
+    EXPECT_DOUBLE_EQ(acc.min(), -3.0);
+    EXPECT_DOUBLE_EQ(acc.max(), -3.0);
+}
+
+TEST(HistogramTest, BucketsAndOverflow)
+{
+    Histogram hist(4, 10.0); // [0,10) [10,20) [20,30) [30,40).
+    hist.add(0.0);
+    hist.add(9.999);
+    hist.add(10.0);
+    hist.add(39.0);
+    hist.add(40.0); // Overflow.
+    hist.add(1000.0);
+
+    EXPECT_EQ(hist.bucket(0), 2u);
+    EXPECT_EQ(hist.bucket(1), 1u);
+    EXPECT_EQ(hist.bucket(2), 0u);
+    EXPECT_EQ(hist.bucket(3), 1u);
+    EXPECT_EQ(hist.overflow(), 2u);
+    EXPECT_EQ(hist.total(), 6u);
+}
+
+TEST(HistogramTest, FractionBelow)
+{
+    Histogram hist(10, 1.0);
+    for (int i = 0; i < 10; ++i)
+        hist.add(i + 0.5);
+    EXPECT_DOUBLE_EQ(hist.fractionBelow(5.0), 0.5);
+    EXPECT_DOUBLE_EQ(hist.fractionBelow(10.0), 1.0);
+}
+
+TEST(StatSetTest, SetGetHasAdd)
+{
+    StatSet stats;
+    EXPECT_FALSE(stats.has("x"));
+    EXPECT_EQ(stats.get("x"), 0.0);
+    stats.set("x", 3.5);
+    EXPECT_TRUE(stats.has("x"));
+    EXPECT_DOUBLE_EQ(stats.get("x"), 3.5);
+    stats.add("x", 1.5);
+    EXPECT_DOUBLE_EQ(stats.get("x"), 5.0);
+    stats.add("fresh", 2.0);
+    EXPECT_DOUBLE_EQ(stats.get("fresh"), 2.0);
+}
+
+} // namespace
+} // namespace dewrite

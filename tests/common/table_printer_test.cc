@@ -1,0 +1,55 @@
+/**
+ * @file
+ * TablePrinter formatting tests.
+ */
+
+#include "common/table_printer.hh"
+
+#include <gtest/gtest.h>
+
+namespace dewrite {
+namespace {
+
+TEST(TablePrinterTest, NumberFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(3.0, 0), "3");
+    EXPECT_EQ(TablePrinter::percent(0.542, 1), "54.2%");
+    EXPECT_EQ(TablePrinter::percent(1.0, 0), "100%");
+    EXPECT_EQ(TablePrinter::times(4.2, 1), "4.2x");
+}
+
+TEST(TablePrinterTest, PrintsAlignedColumns)
+{
+    TablePrinter table({ "app", "value" });
+    table.addRow({ "cactusADM", "98.4%" });
+    table.addRow({ "lbm", "93.0%" });
+
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    table.print(tmp);
+    std::rewind(tmp);
+
+    char buf[256];
+    ASSERT_NE(std::fgets(buf, sizeof(buf), tmp), nullptr);
+    EXPECT_EQ(std::string(buf).find("app"), 0u);
+    // Header separator on line two.
+    ASSERT_NE(std::fgets(buf, sizeof(buf), tmp), nullptr);
+    EXPECT_EQ(buf[0], '-');
+    // The value column begins at the same offset on every row.
+    ASSERT_NE(std::fgets(buf, sizeof(buf), tmp), nullptr);
+    const std::string row1(buf);
+    ASSERT_NE(std::fgets(buf, sizeof(buf), tmp), nullptr);
+    const std::string row2(buf);
+    EXPECT_EQ(row1.find("98.4%"), row2.find("93.0%"));
+    std::fclose(tmp);
+}
+
+TEST(TablePrinterDeathTest, RowArityMismatchPanics)
+{
+    TablePrinter table({ "a", "b" });
+    EXPECT_DEATH(table.addRow({ "only-one" }), "table row");
+}
+
+} // namespace
+} // namespace dewrite

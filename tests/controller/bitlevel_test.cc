@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Bit-level reducer tests: the Figure 13 technique set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "controller/bitlevel/bitflip.hh"
+#include "controller/bitlevel/deuce.hh"
+#include "controller/bitlevel/shredder.hh"
+#include "crypto/counter_mode.hh"
+
+namespace dewrite {
+namespace {
+
+AesKey
+testKey()
+{
+    AesKey key{};
+    key[7] = 0x99;
+    return key;
+}
+
+class BitLevelTest : public ::testing::Test
+{
+  protected:
+    BitLevelTest() : cme_(testKey()) {}
+
+    /**
+     * Mean flip fraction over @p writes rewrites of one slot, where
+     * each rewrite changes @p mutated_words 64-bit words of plaintext.
+     */
+    double
+    flipFraction(BitTechnique technique, int writes, int mutated_words)
+    {
+        auto reducer = makeReducer(technique, cme_);
+        Rng rng(91);
+        Line pt = Line::random(rng);
+        std::uint64_t counter = 0;
+        reducer->onWrite(7, pt, ++counter); // Initial fill.
+        std::size_t flips = 0;
+        for (int w = 0; w < writes; ++w) {
+            for (int m = 0; m < mutated_words; ++m)
+                pt.setWord64(rng.nextBelow(32), rng.next64());
+            flips += reducer->onWrite(7, pt, ++counter);
+        }
+        return static_cast<double>(flips) /
+               (static_cast<double>(writes) * kLineBits);
+    }
+
+    CounterModeEngine cme_;
+};
+
+TEST_F(BitLevelTest, FullWriteProgramsEverything)
+{
+    EXPECT_DOUBLE_EQ(flipFraction(BitTechnique::None, 50, 1), 1.0);
+}
+
+TEST_F(BitLevelTest, DcwOnEncryptedDataIsHalf)
+{
+    // Diffusion: every re-encryption flips ~50% of cells no matter how
+    // small the plaintext change (the paper's DCW column).
+    EXPECT_NEAR(flipFraction(BitTechnique::Dcw, 100, 1), 0.50, 0.02);
+}
+
+TEST_F(BitLevelTest, FnwBoundsFlipsBelowDcw)
+{
+    // E[min(d, 17-d)] for d ~ Binomial(16, 1/2) is ~43% of bits.
+    const double fnw = flipFraction(BitTechnique::Fnw, 100, 1);
+    EXPECT_NEAR(fnw, 0.43, 0.02);
+}
+
+TEST_F(BitLevelTest, DeuceExploitsSparseWrites)
+{
+    // With one mutated word per write, DEUCE re-encrypts only the
+    // accumulated modified set — far fewer flips than DCW's 50%.
+    const double deuce = flipFraction(BitTechnique::Deuce, 100, 1);
+    EXPECT_LT(deuce, 0.35);
+    EXPECT_GT(deuce, 0.01);
+}
+
+TEST_F(BitLevelTest, DeuceDegradesTowardDcwOnDenseWrites)
+{
+    const double dense = flipFraction(BitTechnique::Deuce, 100, 32);
+    EXPECT_NEAR(dense, 0.50, 0.05);
+}
+
+TEST_F(BitLevelTest, DeuceEpochBoundaryReencryptsFully)
+{
+    auto reducer = makeReducer(BitTechnique::Deuce, cme_);
+    Rng rng(92);
+    Line pt = Line::random(rng);
+    reducer->onWrite(3, pt, 1);
+    // Counter 32 is an epoch boundary: even an unchanged plaintext
+    // re-encrypts the full line (~50% flips).
+    std::uint64_t counter = 1;
+    std::size_t epoch_flips = 0;
+    while (counter < DeuceReducer::kEpochInterval) {
+        ++counter;
+        const std::size_t flips = reducer->onWrite(3, pt, counter);
+        if (counter == DeuceReducer::kEpochInterval)
+            epoch_flips = flips;
+        else
+            EXPECT_EQ(flips, 0u) << "counter " << counter;
+    }
+    EXPECT_NEAR(static_cast<double>(epoch_flips) / kLineBits, 0.5, 0.05);
+}
+
+TEST_F(BitLevelTest, SecretBeatsDeuceOnZeroHeavyData)
+{
+    // Lines whose rewrites zero out words: SECRET stores the zeros
+    // raw and repeated zeroing is free; DEUCE re-encrypts them.
+    auto secret = makeReducer(BitTechnique::Secret, cme_);
+    auto deuce = makeReducer(BitTechnique::Deuce, cme_);
+    Rng rng(95);
+    Line pt = Line::random(rng);
+    std::uint64_t counter = 0;
+    secret->onWrite(9, pt, counter + 1);
+    deuce->onWrite(9, pt, counter + 1);
+    ++counter;
+
+    std::size_t secret_flips = 0, deuce_flips = 0;
+    for (int w = 0; w < 60; ++w) {
+        // Alternate between zeroing a word and writing data into it.
+        const std::size_t word = rng.nextBelow(32);
+        pt.setWord64(word, (w % 2 == 0) ? 0 : rng.next64());
+        ++counter;
+        secret_flips += secret->onWrite(9, pt, counter);
+        deuce_flips += deuce->onWrite(9, pt, counter);
+    }
+    EXPECT_LT(secret_flips, deuce_flips);
+}
+
+TEST_F(BitLevelTest, SecretMatchesDeuceOnNonZeroData)
+{
+    // Without zero words SECRET degenerates to DEUCE-like behaviour.
+    const double secret = flipFraction(BitTechnique::Secret, 60, 1);
+    const double deuce = flipFraction(BitTechnique::Deuce, 60, 1);
+    EXPECT_NEAR(secret, deuce, 0.05);
+}
+
+TEST_F(BitLevelTest, SecretZeroLineIsCheapAfterFirstZeroing)
+{
+    auto secret = makeReducer(BitTechnique::Secret, cme_);
+    Rng rng(96);
+    secret->onWrite(2, Line::random(rng), 1);
+    secret->onWrite(2, Line(), 2);
+    // Re-zeroing an already-zero line programs nothing.
+    EXPECT_EQ(secret->onWrite(2, Line(), 3), 0u);
+}
+
+TEST_F(BitLevelTest, FirstWriteFromFreshCells)
+{
+    // Fresh PCM reads zero; the first encrypted write programs ~half
+    // the cells under DCW (random ciphertext vs zeros).
+    auto reducer = makeReducer(BitTechnique::Dcw, cme_);
+    Rng rng(93);
+    const std::size_t flips = reducer->onWrite(1, Line::random(rng), 1);
+    EXPECT_NEAR(static_cast<double>(flips) / kLineBits, 0.5, 0.05);
+}
+
+TEST_F(BitLevelTest, TechniqueNamesAreStable)
+{
+    EXPECT_EQ(bitTechniqueName(BitTechnique::None), "Full");
+    EXPECT_EQ(bitTechniqueName(BitTechnique::Dcw), "DCW");
+    EXPECT_EQ(bitTechniqueName(BitTechnique::Fnw), "FNW");
+    EXPECT_EQ(bitTechniqueName(BitTechnique::Deuce), "DEUCE");
+    EXPECT_EQ(bitTechniqueName(BitTechnique::Secret), "SECRET");
+}
+
+TEST_F(BitLevelTest, FactoryProducesMatchingTechnique)
+{
+    for (BitTechnique t : { BitTechnique::None, BitTechnique::Dcw,
+                            BitTechnique::Fnw, BitTechnique::Deuce,
+                            BitTechnique::Secret }) {
+        EXPECT_EQ(makeReducer(t, cme_)->technique(), t);
+    }
+}
+
+TEST(ZeroLineDirectoryTest, MarkClearLifecycle)
+{
+    ZeroLineDirectory zeros;
+    EXPECT_FALSE(zeros.isZeroed(5));
+    zeros.markZeroed(5);
+    EXPECT_TRUE(zeros.isZeroed(5));
+    EXPECT_EQ(zeros.eliminatedWrites(), 1u);
+    EXPECT_EQ(zeros.zeroedLines(), 1u);
+    zeros.clearZeroed(5);
+    EXPECT_FALSE(zeros.isZeroed(5));
+    EXPECT_EQ(zeros.eliminatedWrites(), 1u); // Cumulative.
+}
+
+} // namespace
+} // namespace dewrite

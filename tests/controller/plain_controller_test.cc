@@ -1,0 +1,95 @@
+/**
+ * @file
+ * PlainController tests — the unencrypted reference point.
+ */
+
+#include "controller/plain_controller.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace dewrite {
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig config;
+    config.memory.numLines = 1 << 16;
+    return config;
+}
+
+TEST(PlainControllerTest, StoresPlaintextAtRest)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    PlainController ctrl(device);
+    Rng rng(191);
+    const Line data = Line::random(rng);
+    ctrl.write(3, data, 0);
+    EXPECT_EQ(device.peek(3), data); // No encryption: leaks as-is.
+    EXPECT_EQ(ctrl.read(3, 0).data, data);
+}
+
+TEST(PlainControllerTest, WriteLatencyIsBareCellWrite)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    PlainController ctrl(device);
+    const CtrlWriteResult write = ctrl.write(0, Line(), 0);
+    EXPECT_EQ(write.latency, config.timing.nvmWrite);
+    EXPECT_FALSE(write.eliminated);
+}
+
+TEST(PlainControllerTest, ReadLatencyIsBareArrayRead)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    PlainController ctrl(device);
+    // A cold read of a different row pays the full array access and
+    // nothing else.
+    const CtrlReadResult read = ctrl.read(12345, 0);
+    EXPECT_EQ(read.latency, config.timing.nvmRead);
+    EXPECT_FALSE(read.valid);
+}
+
+TEST(PlainControllerTest, NeverEliminatesDuplicates)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    PlainController ctrl(device);
+    const Line data = Line::filled(0x42);
+    for (LineAddr addr = 0; addr < 10; ++addr)
+        ctrl.write(addr, data, 0);
+    EXPECT_EQ(ctrl.writesEliminated(), 0u);
+    EXPECT_EQ(device.numWrites(), 10u);
+    EXPECT_EQ(ctrl.dataBitsProgrammed(), 10 * kLineBits);
+}
+
+TEST(PlainControllerTest, NoControllerEnergy)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    PlainController ctrl(device);
+    ctrl.write(0, Line(), 0);
+    EXPECT_EQ(ctrl.controllerEnergy(), 0u); // Device energy only.
+    EXPECT_GT(device.totalEnergy(), 0u);
+}
+
+TEST(PlainControllerTest, StatsExport)
+{
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    PlainController ctrl(device);
+    ctrl.write(0, Line(), 0);
+    ctrl.read(0, 0);
+    StatSet stats;
+    ctrl.fillStats(stats);
+    EXPECT_EQ(stats.get("writes"), 1.0);
+    EXPECT_EQ(stats.get("reads"), 1.0);
+    EXPECT_EQ(ctrl.name(), "plain-nvm");
+}
+
+} // namespace
+} // namespace dewrite

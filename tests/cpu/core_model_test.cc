@@ -1,0 +1,231 @@
+/**
+ * @file
+ * CoreModel tests: single-core stalls, persist write queues, and
+ * multi-core interleaving — exercised against a stub controller with
+ * fixed latencies so every cycle count is predictable.
+ */
+
+#include "cpu/core_model.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "controller/mem_controller.hh"
+#include "trace/trace.hh"
+
+namespace dewrite {
+namespace {
+
+/** Fixed-latency controller that records issue times. */
+class StubController : public MemController
+{
+  public:
+    StubController(Time write_latency, Time read_latency)
+        : writeLatency_(write_latency), readLatency_(read_latency)
+    {
+    }
+
+    CtrlWriteResult
+    write(LineAddr addr, const Line &, Time now) override
+    {
+        writeIssues.push_back({ addr, now });
+        noteWrite(writeLatency_, false, kLineBits);
+        return { writeLatency_, false };
+    }
+
+    CtrlReadResult
+    read(LineAddr addr, Time now) override
+    {
+        readIssues.push_back({ addr, now });
+        noteRead(readLatency_);
+        CtrlReadResult result;
+        result.latency = readLatency_;
+        result.valid = true;
+        return result;
+    }
+
+    std::string name() const override { return "stub"; }
+    Energy controllerEnergy() const override { return 0; }
+    void fillStats(StatSet &) const override {}
+
+    std::vector<std::pair<LineAddr, Time>> writeIssues;
+    std::vector<std::pair<LineAddr, Time>> readIssues;
+
+  private:
+    Time writeLatency_;
+    Time readLatency_;
+};
+
+/** Fixed event script. */
+class ScriptedTrace : public TraceSource
+{
+  public:
+    explicit ScriptedTrace(std::vector<MemEvent> events)
+        : events_(std::move(events))
+    {
+    }
+
+    bool
+    next(MemEvent &event) override
+    {
+        if (position_ >= events_.size())
+            return false;
+        event = events_[position_++];
+        return true;
+    }
+
+  private:
+    std::vector<MemEvent> events_;
+    std::size_t position_ = 0;
+};
+
+MemEvent
+write(LineAddr addr, std::uint64_t gap)
+{
+    MemEvent event;
+    event.isWrite = true;
+    event.addr = addr;
+    event.instGap = gap;
+    return event;
+}
+
+MemEvent
+read(LineAddr addr, std::uint64_t gap)
+{
+    MemEvent event;
+    event.addr = addr;
+    event.instGap = gap;
+    return event;
+}
+
+TEST(CoreModelTest, ReadsBlockTheCore)
+{
+    TimingConfig timing;
+    CoreModel core(timing);
+    StubController ctrl(300 * kNanoSecond, 100 * kNanoSecond);
+
+    // Two reads with 10-instruction gaps: the second issues only after
+    // the first returns.
+    ScriptedTrace trace({ read(1, 10), read(2, 10) });
+    const RunResult result = core.run(trace, ctrl, 100);
+
+    ASSERT_EQ(ctrl.readIssues.size(), 2u);
+    // Each event costs its gap plus one issue cycle.
+    EXPECT_EQ(ctrl.readIssues[0].second, timing.cycles(11));
+    EXPECT_EQ(ctrl.readIssues[1].second,
+              timing.cycles(11) + 100 * kNanoSecond + timing.cycles(11));
+    EXPECT_EQ(result.reads, 2u);
+    EXPECT_EQ(result.instructions, 22u);
+}
+
+TEST(CoreModelTest, StoreQueueOverlapsWrites)
+{
+    TimingConfig timing;
+    timing.storeQueueDepth = 4;
+    CoreModel core(timing);
+    StubController ctrl(300 * kNanoSecond, 100 * kNanoSecond);
+
+    // Three back-to-back writes fit in the queue: each issues after
+    // only its compute gap, not after the previous write completes.
+    ScriptedTrace trace({ write(1, 10), write(2, 10), write(3, 10) });
+    core.run(trace, ctrl, 100);
+
+    ASSERT_EQ(ctrl.writeIssues.size(), 3u);
+    EXPECT_EQ(ctrl.writeIssues[1].second - ctrl.writeIssues[0].second,
+              timing.cycles(11));
+    EXPECT_EQ(ctrl.writeIssues[2].second - ctrl.writeIssues[1].second,
+              timing.cycles(11));
+}
+
+TEST(CoreModelTest, FullStoreQueueStalls)
+{
+    TimingConfig timing;
+    timing.storeQueueDepth = 1; // Strict flush-per-store discipline.
+    CoreModel core(timing);
+    StubController ctrl(300 * kNanoSecond, 100 * kNanoSecond);
+
+    ScriptedTrace trace({ write(1, 10), write(2, 10) });
+    core.run(trace, ctrl, 100);
+
+    // The second write waits out the first's full latency.
+    EXPECT_EQ(ctrl.writeIssues[1].second - ctrl.writeIssues[0].second,
+              300 * kNanoSecond + timing.cycles(11));
+}
+
+TEST(CoreModelTest, MultiCoreInterleavesByTime)
+{
+    TimingConfig timing;
+    CoreModel core(timing);
+    StubController ctrl(300 * kNanoSecond, 100 * kNanoSecond);
+
+    // Core 0's events sit at gaps 10 and 1000; core 1's at gap 100:
+    // global issue order must be 0, 1, 0.
+    ScriptedTrace trace_a({ read(10, 10), read(11, 2000) });
+    ScriptedTrace trace_b({ read(20, 500) });
+    std::vector<TraceSource *> traces{ &trace_a, &trace_b };
+    const RunResult result = core.runMulti(traces, ctrl, 100);
+
+    ASSERT_EQ(ctrl.readIssues.size(), 3u);
+    EXPECT_EQ(ctrl.readIssues[0].first, 10u);
+    EXPECT_EQ(ctrl.readIssues[1].first, 20u);
+    EXPECT_EQ(ctrl.readIssues[2].first, 11u);
+    EXPECT_EQ(result.events, 3u);
+}
+
+TEST(CoreModelTest, MultiCoreCyclesAreSlowestCore)
+{
+    TimingConfig timing;
+    CoreModel core(timing);
+    StubController ctrl(300 * kNanoSecond, 100 * kNanoSecond);
+
+    ScriptedTrace trace_a({ read(1, 10) });
+    ScriptedTrace trace_b({ read(2, 10000) });
+    std::vector<TraceSource *> traces{ &trace_a, &trace_b };
+    const RunResult result = core.runMulti(traces, ctrl, 100);
+
+    // Slowest core: 10000 cycles of compute, one issue cycle, and
+    // the read stall.
+    EXPECT_EQ(result.cycles,
+              10001 + (100 * kNanoSecond) / timing.cyclePeriod);
+}
+
+TEST(CoreModelTest, MaxEventsBoundsTotalAcrossCores)
+{
+    TimingConfig timing;
+    CoreModel core(timing);
+    StubController ctrl(300 * kNanoSecond, 100 * kNanoSecond);
+
+    ScriptedTrace trace_a({ read(1, 1), read(2, 1), read(3, 1) });
+    ScriptedTrace trace_b({ read(4, 1), read(5, 1), read(6, 1) });
+    std::vector<TraceSource *> traces{ &trace_a, &trace_b };
+    const RunResult result = core.runMulti(traces, ctrl, 4);
+    EXPECT_EQ(result.events, 4u);
+}
+
+TEST(CoreModelTest, ExhaustedTraceEndsRun)
+{
+    TimingConfig timing;
+    CoreModel core(timing);
+    StubController ctrl(300 * kNanoSecond, 100 * kNanoSecond);
+    ScriptedTrace trace({ read(1, 1) });
+    const RunResult result = core.run(trace, ctrl, 1000);
+    EXPECT_EQ(result.events, 1u);
+}
+
+TEST(CoreModelTest, IpcNeverExceedsOnePerCore)
+{
+    TimingConfig timing;
+    CoreModel core(timing);
+    StubController ctrl(300 * kNanoSecond, 100 * kNanoSecond);
+    std::vector<MemEvent> events;
+    for (int i = 0; i < 50; ++i)
+        events.push_back(write(i, 100));
+    ScriptedTrace trace(events);
+    const RunResult result = core.run(trace, ctrl, 1000);
+    EXPECT_LE(result.ipc, 1.0);
+    EXPECT_GT(result.ipc, 0.0);
+}
+
+} // namespace
+} // namespace dewrite

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * AES-128 tests against FIPS-197 vectors plus T-table/reference
+ * equivalence.
+ */
+
+#include "crypto/aes128.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace dewrite {
+namespace {
+
+AesBlock
+blockFromHex(const char *hex)
+{
+    AesBlock block{};
+    for (int i = 0; i < 16; ++i) {
+        auto nibble = [&](char c) -> std::uint8_t {
+            if (c >= '0' && c <= '9')
+                return static_cast<std::uint8_t>(c - '0');
+            return static_cast<std::uint8_t>(c - 'a' + 10);
+        };
+        block[i] = static_cast<std::uint8_t>(
+            (nibble(hex[2 * i]) << 4) | nibble(hex[2 * i + 1]));
+    }
+    return block;
+}
+
+TEST(Aes128Test, Fips197AppendixCVector)
+{
+    const Aes128 aes(blockFromHex("000102030405060708090a0b0c0d0e0f"));
+    const AesBlock pt = blockFromHex("00112233445566778899aabbccddeeff");
+    const AesBlock expected =
+        blockFromHex("69c4e0d86a7b0430d8cdb78070b4c55a");
+    EXPECT_EQ(aes.encryptBlock(pt), expected);
+}
+
+TEST(Aes128Test, Fips197AppendixBVector)
+{
+    const Aes128 aes(blockFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    const AesBlock pt = blockFromHex("3243f6a8885a308d313198a2e0370734");
+    const AesBlock expected =
+        blockFromHex("3925841d02dc09fbdc118597196a0b32");
+    EXPECT_EQ(aes.encryptBlock(pt), expected);
+}
+
+TEST(Aes128Test, DecryptInvertsEncrypt)
+{
+    const Aes128 aes(blockFromHex("000102030405060708090a0b0c0d0e0f"));
+    Rng rng(21);
+    for (int trial = 0; trial < 50; ++trial) {
+        AesBlock pt;
+        for (auto &byte : pt)
+            byte = static_cast<std::uint8_t>(rng.next64());
+        EXPECT_EQ(aes.decryptBlock(aes.encryptBlock(pt)), pt);
+    }
+}
+
+TEST(Aes128Test, TTableMatchesReferenceImplementation)
+{
+    Rng rng(22);
+    for (int trial = 0; trial < 200; ++trial) {
+        AesKey key;
+        for (auto &byte : key)
+            byte = static_cast<std::uint8_t>(rng.next64());
+        const Aes128 aes(key);
+        AesBlock pt;
+        for (auto &byte : pt)
+            byte = static_cast<std::uint8_t>(rng.next64());
+        EXPECT_EQ(aes.encryptBlock(pt), aes.encryptBlockReference(pt));
+    }
+}
+
+TEST(Aes128Test, DifferentKeysDifferentCiphertext)
+{
+    const AesBlock pt{};
+    const Aes128 a(blockFromHex("00000000000000000000000000000000"));
+    const Aes128 b(blockFromHex("00000000000000000000000000000001"));
+    EXPECT_NE(a.encryptBlock(pt), b.encryptBlock(pt));
+}
+
+TEST(Aes128Test, DiffusionProperty)
+{
+    // The property that breaks DCW/FNW on encrypted NVMM (Section I):
+    // one flipped plaintext bit changes ~half the ciphertext bits.
+    const Aes128 aes(blockFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    Rng rng(23);
+    int total_diff = 0;
+    const int trials = 100;
+    for (int trial = 0; trial < trials; ++trial) {
+        AesBlock pt;
+        for (auto &byte : pt)
+            byte = static_cast<std::uint8_t>(rng.next64());
+        AesBlock pt2 = pt;
+        pt2[rng.nextBelow(16)] ^=
+            static_cast<std::uint8_t>(1u << rng.nextBelow(8));
+        const AesBlock c1 = aes.encryptBlock(pt);
+        const AesBlock c2 = aes.encryptBlock(pt2);
+        for (int i = 0; i < 16; ++i)
+            total_diff += std::popcount(
+                static_cast<unsigned>(c1[i] ^ c2[i]));
+    }
+    const double avg_fraction =
+        static_cast<double>(total_diff) / (trials * 128);
+    EXPECT_NEAR(avg_fraction, 0.5, 0.03);
+}
+
+} // namespace
+} // namespace dewrite

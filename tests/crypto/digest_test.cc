@@ -1,0 +1,145 @@
+/**
+ * @file
+ * MD5 (RFC 1321) and SHA-1 (FIPS 180-1) tests against published
+ * vectors, plus Fingerprinter behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/crc32.hh"
+#include "common/rng.hh"
+#include "crypto/md5.hh"
+#include "crypto/sha1.hh"
+#include "dedup/fingerprint.hh"
+
+namespace dewrite {
+namespace {
+
+template <std::size_t N>
+std::string
+toHex(const std::array<std::uint8_t, N> &digest)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string out;
+    for (std::uint8_t byte : digest) {
+        out += hex[byte >> 4];
+        out += hex[byte & 0xf];
+    }
+    return out;
+}
+
+const std::uint8_t *
+bytes(const char *s)
+{
+    return reinterpret_cast<const std::uint8_t *>(s);
+}
+
+TEST(Md5Test, Rfc1321Vectors)
+{
+    EXPECT_EQ(toHex(md5(bytes(""), 0)),
+              "d41d8cd98f00b204e9800998ecf8427e");
+    EXPECT_EQ(toHex(md5(bytes("a"), 1)),
+              "0cc175b9c0f1b6a831c399e269772661");
+    EXPECT_EQ(toHex(md5(bytes("abc"), 3)),
+              "900150983cd24fb0d6963f7d28e17f72");
+    EXPECT_EQ(toHex(md5(bytes("message digest"), 14)),
+              "f96b697d7cb7938d525a2f31aaf161d0");
+    EXPECT_EQ(toHex(md5(bytes("abcdefghijklmnopqrstuvwxyz"), 26)),
+              "c3fcd3d76192e4007dfb496cca67e13b");
+}
+
+TEST(Md5Test, PaddingBoundaries)
+{
+    // 55, 56, and 64 bytes hit the one-vs-two-block padding edges.
+    const std::string s55(55, 'x');
+    const std::string s56(56, 'x');
+    const std::string s64(64, 'x');
+    EXPECT_NE(toHex(md5(bytes(s55.c_str()), 55)),
+              toHex(md5(bytes(s56.c_str()), 56)));
+    EXPECT_NE(toHex(md5(bytes(s56.c_str()), 56)),
+              toHex(md5(bytes(s64.c_str()), 64)));
+    // Against a reference value for the 64-byte (two-block) case,
+    // cross-checked with Python hashlib.
+    EXPECT_EQ(toHex(md5(bytes(s64.c_str()), 64)),
+              "c1bb4f81d892b2d57947682aeb252456");
+}
+
+TEST(Sha1Test, Fips180Vectors)
+{
+    EXPECT_EQ(toHex(sha1(bytes("abc"), 3)),
+              "a9993e364706816aba3e25717850c26c9cd0d89d");
+    EXPECT_EQ(
+        toHex(sha1(bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmn"
+                         "omnopnopq"),
+                   56)),
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+    EXPECT_EQ(toHex(sha1(bytes(""), 0)),
+              "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, MillionAs)
+{
+    // FIPS 180-1's third vector: one million repetitions of 'a'.
+    std::string input(1000000, 'a');
+    EXPECT_EQ(toHex(sha1(bytes(input.c_str()), input.size())),
+              "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(FingerprinterTest, Crc32MatchesDirectCall)
+{
+    Rng rng(151);
+    const Line line = Line::random(rng);
+    const Fingerprinter fp(HashFunction::Crc32);
+    EXPECT_EQ(fp.fingerprint(line), crc32(line));
+    EXPECT_FALSE(fp.cryptographic());
+    EXPECT_EQ(fp.digestBits(), 32u);
+}
+
+TEST(FingerprinterTest, CryptoPrefixesMatchDigests)
+{
+    Rng rng(152);
+    const Line line = Line::random(rng);
+
+    const Md5Digest md = md5(line.data(), kLineSize);
+    std::uint64_t md_prefix;
+    std::memcpy(&md_prefix, md.data(), 8);
+    EXPECT_EQ(Fingerprinter(HashFunction::Md5).fingerprint(line),
+              md_prefix);
+
+    const Sha1Digest sd = sha1(line.data(), kLineSize);
+    std::uint64_t sd_prefix;
+    std::memcpy(&sd_prefix, sd.data(), 8);
+    EXPECT_EQ(Fingerprinter(HashFunction::Sha1).fingerprint(line),
+              sd_prefix);
+}
+
+TEST(FingerprinterTest, LatenciesFollowTableIa)
+{
+    EXPECT_EQ(Fingerprinter(HashFunction::Crc32).latency(),
+              15u * kNanoSecond);
+    EXPECT_EQ(Fingerprinter(HashFunction::Md5).latency(),
+              312u * kNanoSecond);
+    EXPECT_EQ(Fingerprinter(HashFunction::Sha1).latency(),
+              321u * kNanoSecond);
+    EXPECT_TRUE(Fingerprinter(HashFunction::Md5).cryptographic());
+}
+
+TEST(FingerprinterTest, DistinctContentDistinctFingerprints)
+{
+    Rng rng(153);
+    for (HashFunction fn : { HashFunction::Crc32, HashFunction::Md5,
+                             HashFunction::Sha1 }) {
+        const Fingerprinter fp(fn);
+        const Line a = Line::random(rng);
+        Line b = a;
+        b.setByte(100, b.byte(100) ^ 1);
+        EXPECT_NE(fp.fingerprint(a), fp.fingerprint(b));
+        EXPECT_EQ(fp.fingerprint(a), fp.fingerprint(a));
+    }
+}
+
+} // namespace
+} // namespace dewrite

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * FreeSpaceTable tests.
+ */
+
+#include "dedup/free_space.hh"
+
+#include <gtest/gtest.h>
+
+namespace dewrite {
+namespace {
+
+TEST(FreeSpaceTest, StartsAllFree)
+{
+    FreeSpaceTable fsm(100);
+    EXPECT_EQ(fsm.freeCount(), 100u);
+    EXPECT_EQ(fsm.capacity(), 100u);
+    for (LineAddr slot = 0; slot < 100; ++slot)
+        EXPECT_TRUE(fsm.isFree(slot));
+}
+
+TEST(FreeSpaceTest, AllocateAndRelease)
+{
+    FreeSpaceTable fsm(10);
+    fsm.allocate(3);
+    EXPECT_FALSE(fsm.isFree(3));
+    EXPECT_EQ(fsm.freeCount(), 9u);
+    fsm.release(3);
+    EXPECT_TRUE(fsm.isFree(3));
+    EXPECT_EQ(fsm.freeCount(), 10u);
+}
+
+TEST(FreeSpaceTest, PreferredSlotWins)
+{
+    FreeSpaceTable fsm(10);
+    EXPECT_EQ(fsm.allocatePreferring(7), 7u);
+    EXPECT_FALSE(fsm.isFree(7));
+}
+
+TEST(FreeSpaceTest, FallsBackWhenPreferredTaken)
+{
+    FreeSpaceTable fsm(10);
+    fsm.allocate(7);
+    const LineAddr slot = fsm.allocatePreferring(7);
+    EXPECT_NE(slot, 7u);
+    EXPECT_NE(slot, kInvalidAddr);
+    EXPECT_FALSE(fsm.isFree(slot));
+}
+
+TEST(FreeSpaceTest, ExhaustionReturnsInvalid)
+{
+    FreeSpaceTable fsm(3);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_NE(fsm.allocatePreferring(0), kInvalidAddr);
+    EXPECT_EQ(fsm.allocatePreferring(0), kInvalidAddr);
+    EXPECT_EQ(fsm.freeCount(), 0u);
+}
+
+TEST(FreeSpaceTest, ReleaseMakesSlotAllocatableAgain)
+{
+    FreeSpaceTable fsm(2);
+    fsm.allocate(0);
+    fsm.allocate(1);
+    fsm.release(0);
+    EXPECT_EQ(fsm.allocatePreferring(0), 0u);
+}
+
+TEST(FreeSpaceTest, NextFitDistributesSlots)
+{
+    FreeSpaceTable fsm(8);
+    fsm.allocate(0);
+    // Repeated non-preferred allocations walk the bitmap rather than
+    // always returning the lowest free slot.
+    const LineAddr a = fsm.allocatePreferring(0);
+    const LineAddr b = fsm.allocatePreferring(0);
+    EXPECT_NE(a, b);
+}
+
+TEST(FreeSpaceDeathTest, DoubleAllocatePanics)
+{
+    FreeSpaceTable fsm(4);
+    fsm.allocate(2);
+    EXPECT_DEATH(fsm.allocate(2), "already-used");
+}
+
+TEST(FreeSpaceDeathTest, DoubleReleasePanics)
+{
+    FreeSpaceTable fsm(4);
+    EXPECT_DEATH(fsm.release(1), "already-free");
+}
+
+} // namespace
+} // namespace dewrite

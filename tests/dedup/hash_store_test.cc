@@ -1,0 +1,123 @@
+/**
+ * @file
+ * HashStore tests: chains, references, saturation.
+ */
+
+#include "dedup/hash_store.hh"
+
+#include <gtest/gtest.h>
+
+namespace dewrite {
+namespace {
+
+TEST(HashStoreTest, EmptyLookup)
+{
+    HashStore store;
+    EXPECT_TRUE(store.lookup(0x1234).empty());
+    EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(HashStoreTest, InsertAndLookup)
+{
+    HashStore store;
+    store.insert(0xaaaa, 7);
+    const auto &chain = store.lookup(0xaaaa);
+    ASSERT_EQ(chain.size(), 1u);
+    EXPECT_EQ(chain[0].realAddr, 7u);
+    EXPECT_EQ(chain[0].reference, 1u);
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(HashStoreTest, CollisionChains)
+{
+    HashStore store;
+    store.insert(0xbbbb, 1);
+    store.insert(0xbbbb, 2);
+    EXPECT_EQ(store.lookup(0xbbbb).size(), 2u);
+    EXPECT_EQ(store.collidingEntries(), 2u);
+    EXPECT_EQ(store.maxChainLength(), 2u);
+    EXPECT_EQ(store.distinctHashes(), 1u);
+}
+
+TEST(HashStoreTest, ReferenceLifecycle)
+{
+    HashStore store;
+    store.insert(0xcccc, 5);
+    EXPECT_TRUE(store.addReference(0xcccc, 5));
+    EXPECT_EQ(store.reference(0xcccc, 5), 2u);
+    EXPECT_FALSE(store.dropReference(0xcccc, 5)); // 2 -> 1, survives.
+    EXPECT_TRUE(store.dropReference(0xcccc, 5));  // 1 -> 0, removed.
+    EXPECT_TRUE(store.lookup(0xcccc).empty());
+    EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(HashStoreTest, SaturationRefusesNewReferences)
+{
+    HashStore store;
+    store.insert(0xdddd, 3);
+    for (int i = 1; i < 255; ++i)
+        EXPECT_TRUE(store.addReference(0xdddd, 3));
+    EXPECT_EQ(store.reference(0xdddd, 3), 255u);
+    // The 256th reference is refused (Section III-B2).
+    EXPECT_FALSE(store.addReference(0xdddd, 3));
+    EXPECT_EQ(store.reference(0xdddd, 3), 255u);
+    EXPECT_EQ(store.saturationRefusals(), 1u);
+}
+
+TEST(HashStoreTest, SaturatedRecordIsPinned)
+{
+    HashStore store;
+    store.insert(0xeeee, 4);
+    for (int i = 1; i < 255; ++i)
+        store.addReference(0xeeee, 4);
+    // Once saturated, drops never free the record: the true count is
+    // unknown.
+    for (int i = 0; i < 300; ++i)
+        EXPECT_FALSE(store.dropReference(0xeeee, 4));
+    EXPECT_EQ(store.reference(0xeeee, 4), 255u);
+}
+
+TEST(HashStoreTest, DropOnlyAffectsMatchingSlot)
+{
+    HashStore store;
+    store.insert(0xffff, 1);
+    store.insert(0xffff, 2);
+    EXPECT_TRUE(store.dropReference(0xffff, 1));
+    const auto &chain = store.lookup(0xffff);
+    ASSERT_EQ(chain.size(), 1u);
+    EXPECT_EQ(chain[0].realAddr, 2u);
+}
+
+TEST(HashStoreTest, ForEachVisitsEverything)
+{
+    HashStore store;
+    store.insert(1, 10);
+    store.insert(2, 20);
+    store.insert(2, 30);
+    std::size_t visited = 0;
+    store.forEach([&](std::uint32_t, const HashEntry &) { ++visited; });
+    EXPECT_EQ(visited, 3u);
+}
+
+TEST(HashStoreDeathTest, DoubleInsertPanics)
+{
+    HashStore store;
+    store.insert(7, 7);
+    EXPECT_DEATH(store.insert(7, 7), "duplicate insert");
+}
+
+TEST(HashStoreDeathTest, AddReferenceToAbsentPanics)
+{
+    HashStore store;
+    EXPECT_DEATH(store.addReference(9, 9), "absent");
+}
+
+TEST(HashStoreDeathTest, DropReferenceFromAbsentPanics)
+{
+    HashStore store;
+    store.insert(5, 1);
+    EXPECT_DEATH(store.dropReference(5, 99), "absent");
+}
+
+} // namespace
+} // namespace dewrite

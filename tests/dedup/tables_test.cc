@@ -1,0 +1,120 @@
+/**
+ * @file
+ * AddressMappingTable and InvertedHashTable tests, including the
+ * counter-colocation flag semantics of Section III-C.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dedup/address_mapping.hh"
+#include "dedup/inverted_hash.hh"
+
+namespace dewrite {
+namespace {
+
+TEST(AddressMappingTest, DefaultEntriesAreNullWithZeroCounter)
+{
+    AddressMappingTable table;
+    EXPECT_FALSE(table.isRemapped(123));
+    EXPECT_EQ(table.counter(123), 0u);
+    EXPECT_EQ(table.remappedCount(), 0u);
+}
+
+TEST(AddressMappingTest, RemapAndClear)
+{
+    AddressMappingTable table;
+    table.remap(5, 99);
+    EXPECT_TRUE(table.isRemapped(5));
+    EXPECT_EQ(table.realAddr(5), 99u);
+    EXPECT_EQ(table.remappedCount(), 1u);
+
+    table.clearRemap(5);
+    EXPECT_FALSE(table.isRemapped(5));
+    EXPECT_EQ(table.remappedCount(), 0u);
+    EXPECT_EQ(table.counter(5), 0u); // Null slots come back zeroed.
+}
+
+TEST(AddressMappingTest, RemapOverwriteKeepsCountAtOne)
+{
+    AddressMappingTable table;
+    table.remap(1, 10);
+    table.remap(1, 20);
+    EXPECT_EQ(table.realAddr(1), 20u);
+    EXPECT_EQ(table.remappedCount(), 1u);
+}
+
+TEST(AddressMappingTest, CounterStorageInNullEntry)
+{
+    AddressMappingTable table;
+    table.setCounter(8, 41);
+    EXPECT_EQ(table.counter(8), 41u);
+}
+
+TEST(AddressMappingDeathTest, CounterAccessOnRemappedPanics)
+{
+    AddressMappingTable table;
+    table.remap(2, 3);
+    EXPECT_DEATH(table.counter(2), "remapped");
+    EXPECT_DEATH(table.setCounter(2, 1), "remapped");
+}
+
+TEST(AddressMappingDeathTest, RealAddrOfNullEntryPanics)
+{
+    AddressMappingTable table;
+    EXPECT_DEATH(table.realAddr(4), "non-remapped");
+}
+
+TEST(InvertedHashTest, DefaultSlotsHoldNoData)
+{
+    InvertedHashTable table;
+    EXPECT_FALSE(table.holdsData(55));
+    EXPECT_EQ(table.counter(55), 0u);
+    EXPECT_EQ(table.dataSlots(), 0u);
+}
+
+TEST(InvertedHashTest, SetAndClearHash)
+{
+    InvertedHashTable table;
+    table.setHash(9, 0xdeadbeef);
+    EXPECT_TRUE(table.holdsData(9));
+    EXPECT_EQ(table.hash(9), 0xdeadbeefu);
+    EXPECT_EQ(table.dataSlots(), 1u);
+
+    table.clearHash(9);
+    EXPECT_FALSE(table.holdsData(9));
+    EXPECT_EQ(table.dataSlots(), 0u);
+    EXPECT_EQ(table.counter(9), 0u);
+}
+
+TEST(InvertedHashTest, HashOverwriteKeepsCount)
+{
+    InvertedHashTable table;
+    table.setHash(1, 0x11);
+    table.setHash(1, 0x22);
+    EXPECT_EQ(table.hash(1), 0x22u);
+    EXPECT_EQ(table.dataSlots(), 1u);
+}
+
+TEST(InvertedHashTest, CounterStorageInNullEntry)
+{
+    InvertedHashTable table;
+    table.setCounter(3, 1234);
+    EXPECT_EQ(table.counter(3), 1234u);
+}
+
+TEST(InvertedHashDeathTest, CounterAccessOnDataSlotPanics)
+{
+    InvertedHashTable table;
+    table.setHash(6, 0x66);
+    EXPECT_DEATH(table.counter(6), "data slot");
+    EXPECT_DEATH(table.setCounter(6, 1), "data slot");
+}
+
+TEST(InvertedHashDeathTest, HashOfEmptySlotPanics)
+{
+    InvertedHashTable table;
+    EXPECT_DEATH(table.hash(7), "empty slot");
+}
+
+} // namespace
+} // namespace dewrite

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The traditional cryptographic-fingerprint comparator (Table I):
+ * DeWrite's engine configured with MD5/SHA-1, where matches are
+ * trusted without a confirmation read.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "controller/dewrite_controller.hh"
+#include "dedup/dedup_engine.hh"
+#include "nvm/nvm_device.hh"
+#include "sim/system.hh"
+
+namespace dewrite {
+namespace {
+
+SystemConfig
+cryptoConfig(unsigned digest_bits)
+{
+    SystemConfig config;
+    config.memory.numLines = 1 << 16;
+    config.memory.hashDigestBits = digest_bits;
+    return config;
+}
+
+class TraditionalDedupTest : public ::testing::TestWithParam<HashFunction>
+{
+  protected:
+    TraditionalDedupTest()
+        : config_(cryptoConfig(hashSpec(GetParam()).digestBits)),
+          device_(config_), cme_(defaultAesKey()),
+          metadata_(config_, device_, config_.memory.numLines),
+          engine_(config_, device_, metadata_, cme_,
+                  DedupEngine::Options{ true, nullptr, 4, GetParam() })
+    {
+    }
+
+    SystemConfig config_;
+    NvmDevice device_;
+    CounterModeEngine cme_;
+    MetadataCache metadata_;
+    DedupEngine engine_;
+};
+
+TEST_P(TraditionalDedupTest, DetectsDuplicatesWithoutConfirmRead)
+{
+    Rng rng(161);
+    const Line data = Line::random(rng);
+    const DetectOutcome first = engine_.detect(data, 0, true);
+    EXPECT_FALSE(first.duplicate);
+    const WriteCommit commit =
+        engine_.commitUnique(1, data, first.hash, first.done, first.done);
+
+    const DetectOutcome second = engine_.detect(data, commit.done, true);
+    EXPECT_TRUE(second.duplicate);
+    EXPECT_EQ(second.confirmReads, 0u); // Digest is trusted.
+    EXPECT_EQ(engine_.unsafeCorruptions(), 0u);
+}
+
+TEST_P(TraditionalDedupTest, DetectionLatencyIsDominatedByHashing)
+{
+    Rng rng(162);
+    const Line data = Line::random(rng);
+    const DetectOutcome warm = engine_.detect(data, 0, true);
+    const DetectOutcome det = engine_.detect(data, warm.done, true);
+    // Regardless of duplication, detection costs at least the
+    // cryptographic hash — more than an NVM write (Table I's point).
+    EXPECT_GE(det.done - warm.done, hashSpec(GetParam()).latency);
+    EXPECT_GT(det.done - warm.done, config_.timing.nvmWrite);
+}
+
+TEST_P(TraditionalDedupTest, RoundTripStaysExact)
+{
+    Rng rng(163 + static_cast<int>(GetParam()));
+    std::unordered_map<LineAddr, Line> reference;
+    std::vector<Line> pool;
+    Time now = 0;
+    for (int op = 0; op < 150; ++op) {
+        const LineAddr addr = rng.nextBelow(48);
+        Line data;
+        if (!pool.empty() && rng.chance(0.5)) {
+            data = pool[rng.nextBelow(pool.size())];
+        } else {
+            data = Line::random(rng);
+            pool.push_back(data);
+        }
+        const DetectOutcome det = engine_.detect(data, now, true);
+        const WriteCommit commit = det.duplicate
+            ? engine_.commitDuplicate(addr, det, det.done)
+            : engine_.commitUnique(addr, data, det.hash, det.done,
+                                   det.done);
+        now = commit.done;
+        reference[addr] = data;
+    }
+    for (const auto &[addr, expected] : reference) {
+        const ReadOutcome out = engine_.read(addr, now);
+        ASSERT_TRUE(out.valid);
+        ASSERT_EQ(out.data, expected) << "addr " << addr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(CryptoFunctions, TraditionalDedupTest,
+                         ::testing::Values(HashFunction::Md5,
+                                           HashFunction::Sha1),
+                         [](const auto &info) {
+                             return info.param == HashFunction::Md5
+                                 ? "MD5"
+                                 : "SHA1";
+                         });
+
+TEST(TraditionalDedupControllerTest, NameAndEndToEnd)
+{
+    SystemConfig config = cryptoConfig(128);
+    NvmDevice device(config);
+    DeWriteController::Options options;
+    options.hashFunction = HashFunction::Md5;
+    DeWriteController ctrl(config, device, defaultAesKey(), options);
+    EXPECT_EQ(ctrl.name(), "dewrite-predicted+MD5");
+
+    Rng rng(164);
+    const Line data = Line::random(rng);
+    ctrl.write(1, data, 0);
+    const CtrlWriteResult dup = ctrl.write(2, data, 0);
+    EXPECT_TRUE(dup.eliminated);
+    EXPECT_EQ(ctrl.read(2, 0).data, data);
+}
+
+TEST(TraditionalDedupControllerTest, SlowerWritesThanCrc)
+{
+    // The end-to-end cost comparison behind Table I: cryptographic
+    // fingerprints put >300 ns on every write's critical path.
+    SystemConfig config = cryptoConfig(128);
+
+    NvmDevice device_crc(config);
+    DeWriteController crc(config, device_crc, defaultAesKey(), {});
+    NvmDevice device_md5(config);
+    DeWriteController::Options options;
+    options.hashFunction = HashFunction::Md5;
+    DeWriteController md5ctrl(config, device_md5, defaultAesKey(),
+                              options);
+
+    Rng rng(165);
+    Time crc_total = 0, md5_total = 0;
+    for (int i = 0; i < 50; ++i) {
+        Line data;
+        data.setWord64(0, rng.next64());
+        data.setWord64(1, i + 1);
+        crc_total += crc.write(i, data, i * 10000000).latency;
+        md5_total += md5ctrl.write(i, data, i * 10000000).latency;
+    }
+    EXPECT_GT(md5_total, crc_total);
+}
+
+} // namespace
+} // namespace dewrite

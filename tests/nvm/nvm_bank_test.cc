@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bank timing tests — the serialization behind the paper's
+ * read/write interference argument.
+ */
+
+#include "nvm/nvm_bank.hh"
+
+#include <gtest/gtest.h>
+
+namespace dewrite {
+namespace {
+
+TEST(NvmBankTest, IdleBankStartsImmediately)
+{
+    NvmBank bank;
+    const BankService svc = bank.service(1000, 300);
+    EXPECT_EQ(svc.start, 1000u);
+    EXPECT_EQ(svc.complete, 1300u);
+    EXPECT_EQ(svc.queueDelay, 0u);
+}
+
+TEST(NvmBankTest, BusyBankQueuesFollower)
+{
+    NvmBank bank;
+    bank.service(0, 300);
+    const BankService second = bank.service(100, 75);
+    EXPECT_EQ(second.start, 300u);
+    EXPECT_EQ(second.complete, 375u);
+    EXPECT_EQ(second.queueDelay, 200u);
+}
+
+TEST(NvmBankTest, WriteBlocksSubsequentRead)
+{
+    // The core effect DeWrite exploits (Section I): one long write
+    // delays every later request to the bank; eliminating it removes
+    // both its own latency and the follower's wait.
+    NvmBank with_write;
+    with_write.service(0, 300000); // A 300 ns write.
+    const Time read_after_write =
+        with_write.service(1000, 75000).complete - 1000;
+
+    NvmBank without_write;
+    const Time read_alone =
+        without_write.service(1000, 75000).complete - 1000;
+
+    EXPECT_EQ(read_alone, 75000u);
+    EXPECT_EQ(read_after_write, 299000u + 75000u);
+}
+
+TEST(NvmBankTest, StatisticsAccumulate)
+{
+    NvmBank bank;
+    bank.service(0, 100);
+    bank.service(0, 100);
+    bank.service(500, 100);
+    EXPECT_EQ(bank.accesses(), 3u);
+    EXPECT_EQ(bank.totalBusyTime(), 300u);
+    EXPECT_EQ(bank.totalQueueDelay(), 100u); // Only the second waited.
+    EXPECT_EQ(bank.busyUntil(), 600u);
+}
+
+TEST(NvmBankTest, GapLeavesIdleTime)
+{
+    NvmBank bank;
+    bank.service(0, 100);
+    const BankService late = bank.service(10000, 100);
+    EXPECT_EQ(late.start, 10000u);
+    EXPECT_EQ(late.queueDelay, 0u);
+}
+
+} // namespace
+} // namespace dewrite

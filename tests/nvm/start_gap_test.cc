@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Start-Gap wear leveling tests: mapping bijectivity, data
+ * preservation across gap movements, and wear spreading.
+ */
+
+#include "nvm/start_gap.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "common/rng.hh"
+#include "nvm/nvm_device.hh"
+
+namespace dewrite {
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig config;
+    config.memory.numLines = 1 << 16;
+    return config;
+}
+
+TEST(StartGapTest, InitialMappingIsIdentity)
+{
+    StartGapLeveler leveler(64, 100);
+    for (LineAddr logical = 0; logical < 64; ++logical)
+        EXPECT_EQ(leveler.translate(logical), logical);
+    EXPECT_EQ(leveler.gap(), 64u);
+}
+
+TEST(StartGapTest, MappingStaysBijectiveAcrossFullRotations)
+{
+    const std::uint64_t lines = 37; // Odd size stresses the wrap.
+    StartGapLeveler leveler(lines, 1);
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+
+    // Far more moves than one full rotation (lines+1 moves each).
+    for (int move = 0; move < 500; ++move) {
+        std::set<LineAddr> targets;
+        for (LineAddr logical = 0; logical < lines; ++logical) {
+            const LineAddr physical = leveler.translate(logical);
+            EXPECT_LT(physical, lines + 1);
+            EXPECT_NE(physical, leveler.gap()) << "move " << move;
+            targets.insert(physical);
+        }
+        EXPECT_EQ(targets.size(), lines) << "move " << move;
+        leveler.performGapMove(device, 0);
+    }
+    EXPECT_EQ(leveler.gapMoves(), 500u);
+}
+
+TEST(StartGapTest, DataSurvivesGapMovement)
+{
+    const std::uint64_t lines = 32;
+    StartGapLeveler leveler(lines, 4);
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+    Rng rng(171);
+
+    // Reference contents per logical line, written through the
+    // translation and re-read after every movement.
+    std::unordered_map<LineAddr, Line> reference;
+    for (int op = 0; op < 2000; ++op) {
+        const LineAddr logical = rng.nextBelow(lines);
+        const Line data = Line::random(rng);
+        device.write(leveler.translate(logical), data, 0);
+        reference[logical] = data;
+        if (leveler.recordWrite())
+            leveler.performGapMove(device, 0);
+
+        // Spot-check a random line after the possible move.
+        const LineAddr probe = rng.nextBelow(lines);
+        if (reference.contains(probe)) {
+            EXPECT_EQ(device.peek(leveler.translate(probe)),
+                      reference[probe])
+                << "op " << op;
+        }
+    }
+    // Full sweep at the end.
+    for (const auto &[logical, data] : reference)
+        EXPECT_EQ(device.peek(leveler.translate(logical)), data);
+}
+
+TEST(StartGapTest, HotLineWearSpreadsOverRotation)
+{
+    const std::uint64_t lines = 16;
+    StartGapLeveler leveler(lines, 8);
+    SystemConfig config = smallConfig();
+    NvmDevice device(config);
+
+    // Hammer one logical line long enough for several full rotations.
+    const Line data = Line::filled(0xee);
+    for (int i = 0; i < 4000; ++i) {
+        device.write(leveler.translate(7), data, 0);
+        if (leveler.recordWrite())
+            leveler.performGapMove(device, 0);
+    }
+
+    // Without leveling all 4000 writes hit one cell line; with it,
+    // every physical line absorbed a share.
+    std::uint64_t max_wear = 0;
+    std::uint64_t touched = 0;
+    for (LineAddr physical = 0; physical <= lines; ++physical) {
+        const std::uint64_t wear = device.wear().lineWrites(physical);
+        max_wear = std::max(max_wear, wear);
+        touched += wear > 0;
+    }
+    EXPECT_EQ(touched, lines + 1);
+    EXPECT_LT(max_wear, 4000u * 2 / 3);
+}
+
+TEST(StartGapTest, MovementIntervalControlsOverhead)
+{
+    StartGapLeveler leveler(128, 100);
+    int due = 0;
+    for (int i = 0; i < 1000; ++i)
+        due += leveler.recordWrite();
+    EXPECT_EQ(due, 10);
+    EXPECT_DOUBLE_EQ(leveler.overheadFraction(), 0.01);
+}
+
+TEST(StartGapDeathTest, RejectsDegenerateParameters)
+{
+    EXPECT_EXIT(StartGapLeveler(0, 100), testing::ExitedWithCode(1),
+                "line");
+    EXPECT_EXIT(StartGapLeveler(10, 0), testing::ExitedWithCode(1),
+                "interval");
+}
+
+} // namespace
+} // namespace dewrite

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * WearTracker unit tests.
+ */
+
+#include "nvm/wear_tracker.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+
+namespace dewrite {
+namespace {
+
+TEST(WearTrackerTest, StartsEmpty)
+{
+    WearTracker wear;
+    EXPECT_EQ(wear.totalWrites(), 0u);
+    EXPECT_EQ(wear.totalBitsWritten(), 0u);
+    EXPECT_EQ(wear.maxLineWrites(), 0u);
+    EXPECT_EQ(wear.linesTouched(), 0u);
+    EXPECT_EQ(wear.lineWrites(0), 0u);
+    EXPECT_EQ(wear.relativeLifetime(100, 100), 0.0);
+}
+
+TEST(WearTrackerTest, AccumulatesBits)
+{
+    WearTracker wear;
+    wear.recordWrite(1, 100);
+    wear.recordWrite(1, 50);
+    EXPECT_EQ(wear.totalBitsWritten(), 150u);
+    EXPECT_EQ(wear.lineWrites(1), 2u);
+}
+
+TEST(WearTrackerTest, MaxTracksHottestLine)
+{
+    WearTracker wear;
+    for (int i = 0; i < 5; ++i)
+        wear.recordWrite(9, kLineBits);
+    wear.recordWrite(3, kLineBits);
+    EXPECT_EQ(wear.maxLineWrites(), 5u);
+}
+
+TEST(WearTrackerTest, LifetimeBudgetFormula)
+{
+    WearTracker wear;
+    for (int i = 0; i < 10; ++i)
+        wear.recordWrite(i, kLineBits);
+    // 1000 endurance x 100 lines = 100000 write budget; 10 consumed
+    // per "unit" of this traffic -> 10000 units of lifetime.
+    EXPECT_DOUBLE_EQ(wear.relativeLifetime(1000, 100), 10000.0);
+}
+
+} // namespace
+} // namespace dewrite

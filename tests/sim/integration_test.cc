@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Cross-module integration tests: the paper's headline effects must
+ * emerge from the assembled system (directions, not exact numbers).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "trace/app_catalog.hh"
+#include "trace/trace_gen.hh"
+#include "trace/workload_stats.hh"
+
+namespace dewrite {
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig config;
+    config.memory.numLines = 1 << 18;
+    return config;
+}
+
+constexpr std::uint64_t kEvents = 8000;
+
+RunResult
+simulate(const char *app, const SchemeOptions &scheme)
+{
+    return runApp(appByName(app), smallConfig(), scheme, kEvents, 99).run;
+}
+
+TEST(IntegrationTest, DeWriteEliminatesRoughlyTheDupFraction)
+{
+    const RunResult result =
+        simulate("lbm", dewriteScheme(DedupMode::Predicted));
+    const double eliminated = static_cast<double>(result.writesEliminated) /
+                              static_cast<double>(result.writes);
+    EXPECT_NEAR(eliminated, appByName("lbm").dupTarget, 0.1);
+}
+
+TEST(IntegrationTest, WriteSpeedupOnDupHeavyApp)
+{
+    const RunResult baseline = simulate("lbm", secureBaselineScheme());
+    const RunResult dewrite =
+        simulate("lbm", dewriteScheme(DedupMode::Predicted));
+    // Figure 14's direction: several-fold write speedup on a >90%
+    // duplicate application.
+    EXPECT_GT(baseline.avgWriteLatencyNs / dewrite.avgWriteLatencyNs,
+              2.0);
+}
+
+TEST(IntegrationTest, ReadSpeedupFromRemovedBankContention)
+{
+    const RunResult baseline = simulate("lbm", secureBaselineScheme());
+    const RunResult dewrite =
+        simulate("lbm", dewriteScheme(DedupMode::Predicted));
+    // Figure 16's direction: reads also win because eliminated writes
+    // stop blocking banks.
+    EXPECT_GT(baseline.avgReadLatencyNs, dewrite.avgReadLatencyNs);
+}
+
+TEST(IntegrationTest, IpcImprovesOnDupHeavyApp)
+{
+    const RunResult baseline = simulate("cactusADM",
+                                        secureBaselineScheme());
+    const RunResult dewrite =
+        simulate("cactusADM", dewriteScheme(DedupMode::Predicted));
+    EXPECT_GT(dewrite.ipc, baseline.ipc * 1.2);
+}
+
+TEST(IntegrationTest, EnergyDropsOnDupHeavyApp)
+{
+    const RunResult baseline = simulate("lbm", secureBaselineScheme());
+    const RunResult dewrite =
+        simulate("lbm", dewriteScheme(DedupMode::Predicted));
+    EXPECT_LT(dewrite.totalEnergy, baseline.totalEnergy);
+}
+
+TEST(IntegrationTest, LowDupAppGainsAreModest)
+{
+    const RunResult baseline = simulate("vips", secureBaselineScheme());
+    const RunResult dewrite =
+        simulate("vips", dewriteScheme(DedupMode::Predicted));
+    const double speedup =
+        baseline.avgWriteLatencyNs / dewrite.avgWriteLatencyNs;
+    // vips is the paper's low end (18.6% duplicates): some gain, but
+    // nowhere near the dup-heavy apps.
+    EXPECT_GT(speedup, 1.0);
+    EXPECT_LT(speedup, 2.5);
+}
+
+TEST(IntegrationTest, ModeLatencyOrdering)
+{
+    // Figure 15: direct >= DeWrite ~= parallel in write latency.
+    const RunResult direct =
+        simulate("gcc", dewriteScheme(DedupMode::Direct));
+    const RunResult predicted =
+        simulate("gcc", dewriteScheme(DedupMode::Predicted));
+    const RunResult parallel =
+        simulate("gcc", dewriteScheme(DedupMode::Parallel));
+    EXPECT_GE(direct.avgWriteLatencyNs, predicted.avgWriteLatencyNs);
+    EXPECT_GE(direct.avgWriteLatencyNs, parallel.avgWriteLatencyNs);
+    // "Nearly the same" as the parallel way (the gap is the serial
+    // AES the mispredicted-duplicate writes pay).
+    EXPECT_LE(predicted.avgWriteLatencyNs,
+              1.15 * parallel.avgWriteLatencyNs);
+}
+
+TEST(IntegrationTest, ModeEnergyOrdering)
+{
+    // Figure 20: parallel >= DeWrite ~= direct in energy.
+    const RunResult direct =
+        simulate("lbm", dewriteScheme(DedupMode::Direct));
+    const RunResult predicted =
+        simulate("lbm", dewriteScheme(DedupMode::Predicted));
+    const RunResult parallel =
+        simulate("lbm", dewriteScheme(DedupMode::Parallel));
+    EXPECT_GE(parallel.totalEnergy, predicted.totalEnergy);
+    EXPECT_LE(
+        static_cast<double>(predicted.totalEnergy),
+        1.15 * static_cast<double>(direct.totalEnergy));
+}
+
+TEST(IntegrationTest, WorstCasePenaltyIsSmall)
+{
+    // Figure 18: on an all-unique workload DeWrite stays within a few
+    // percent of the secure baseline.
+    SystemConfig config = smallConfig();
+
+    WorstCaseWorkload trace_base(4096, 100.0, 5);
+    System baseline(config, secureBaselineScheme());
+    const RunResult base = baseline.run(trace_base, kEvents);
+
+    WorstCaseWorkload trace_dw(4096, 100.0, 5);
+    System dewrite(config, dewriteScheme(DedupMode::Predicted));
+    const RunResult dw = dewrite.run(trace_dw, kEvents);
+
+    EXPECT_EQ(dw.writesEliminated, 0u);
+    EXPECT_GT(dw.ipc, base.ipc * 0.9);
+}
+
+TEST(IntegrationTest, ShredderCapturesOnlyZeroLines)
+{
+    SchemeOptions shredder = secureBaselineScheme();
+    shredder.baseline.shredZeroLines = true;
+
+    // On sjeng — the one zero-dominated app (Figure 2) — shredding is
+    // competitive with full dedup.
+    const RunResult shred_sjeng = simulate("sjeng", shredder);
+    const RunResult dewrite_sjeng =
+        simulate("sjeng", dewriteScheme(DedupMode::Predicted));
+    EXPECT_GT(shred_sjeng.writesEliminated, 0u);
+    EXPECT_GT(dewrite_sjeng.writesEliminated,
+              shred_sjeng.writesEliminated * 8 / 10);
+
+    // On a typical app, most duplicates are non-zero and dedup clearly
+    // wins (the paper's 58% vs 16% average comparison).
+    const RunResult shred_zeusmp = simulate("zeusmp", shredder);
+    const RunResult dewrite_zeusmp =
+        simulate("zeusmp", dewriteScheme(DedupMode::Predicted));
+    EXPECT_GT(dewrite_zeusmp.writesEliminated,
+              2 * shred_zeusmp.writesEliminated);
+
+    const RunResult baseline = simulate("sjeng", secureBaselineScheme());
+    EXPECT_EQ(baseline.writesEliminated, 0u);
+}
+
+TEST(IntegrationTest, MeasuredDupMatchesEngineElimination)
+{
+    // The dedup engine should find nearly all duplicates the offline
+    // scanner counts (the small gap is PNA + saturation, Figure 12).
+    const AppProfile &app = appByName("milc");
+    SyntheticWorkload measure_trace(app, 42);
+    const WorkloadStats truth = measureWorkload(measure_trace, kEvents);
+
+    SyntheticWorkload sim_trace(app, 42);
+    System system(smallConfig(), dewriteScheme(DedupMode::Predicted));
+    const RunResult run = system.run(sim_trace, kEvents);
+
+    const double truth_dup = truth.dupFraction();
+    const double eliminated = static_cast<double>(run.writesEliminated) /
+                              static_cast<double>(run.writes);
+    EXPECT_LE(eliminated, truth_dup + 0.01);
+    EXPECT_GT(eliminated, truth_dup - 0.06);
+}
+
+} // namespace
+} // namespace dewrite

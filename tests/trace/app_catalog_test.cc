@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Application catalog tests — these pin the paper's Figure 2 shape.
+ */
+
+#include "trace/app_catalog.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dewrite {
+namespace {
+
+TEST(AppCatalogTest, TwentyApplications)
+{
+    EXPECT_EQ(appCatalog().size(), 20u);
+}
+
+TEST(AppCatalogTest, TwelveSpecEightParsec)
+{
+    int spec = 0, parsec = 0;
+    for (const auto &app : appCatalog()) {
+        if (app.suite == "SPEC")
+            ++spec;
+        else if (app.suite == "PARSEC")
+            ++parsec;
+    }
+    EXPECT_EQ(spec, 12);
+    EXPECT_EQ(parsec, 8);
+}
+
+TEST(AppCatalogTest, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &app : appCatalog())
+        names.insert(app.name);
+    EXPECT_EQ(names.size(), 20u);
+}
+
+TEST(AppCatalogTest, DupFractionsSpanPaperRange)
+{
+    double min_dup = 1.0, max_dup = 0.0, sum = 0.0;
+    for (const auto &app : appCatalog()) {
+        min_dup = std::min(min_dup, app.dupTarget);
+        max_dup = std::max(max_dup, app.dupTarget);
+        sum += app.dupTarget;
+    }
+    EXPECT_DOUBLE_EQ(min_dup, 0.186); // vips.
+    EXPECT_DOUBLE_EQ(max_dup, 0.984); // cactusADM.
+    EXPECT_NEAR(sum / 20.0, 0.58, 0.02); // Paper's 58% mean.
+}
+
+TEST(AppCatalogTest, SjengIsZeroDominated)
+{
+    const AppProfile &sjeng = appByName("sjeng");
+    for (const auto &app : appCatalog()) {
+        if (app.name != "sjeng") {
+            EXPECT_GT(sjeng.zeroGivenDup, app.zeroGivenDup);
+        }
+    }
+}
+
+TEST(AppCatalogTest, HighDupAppsMatchPaper)
+{
+    // Apps the paper singles out as >80% duplicate (Section IV-B).
+    for (const char *name :
+         { "cactusADM", "libquantum", "lbm", "blackscholes" }) {
+        EXPECT_GT(appByName(name).dupTarget, 0.8) << name;
+    }
+}
+
+TEST(AppCatalogTest, ParametersAreSane)
+{
+    for (const auto &app : appCatalog()) {
+        EXPECT_GT(app.dupTarget, 0.0);
+        EXPECT_LT(app.dupTarget, 1.0);
+        EXPECT_GE(app.zeroGivenDup, 0.0);
+        EXPECT_LE(app.zeroGivenDup, 1.0);
+        EXPECT_GT(app.statePersistence, 0.5);
+        EXPECT_LT(app.statePersistence, 1.0);
+        EXPECT_GT(app.writeFraction, 0.0);
+        EXPECT_LT(app.writeFraction, 1.0);
+        EXPECT_GT(app.workingSetLines, 0u);
+        EXPECT_GT(app.instGapMean, 0.0);
+        EXPECT_GT(app.mutateWordsMax, 0u);
+    }
+}
+
+TEST(AppCatalogDeathTest, UnknownAppIsFatal)
+{
+    EXPECT_EXIT(appByName("doom3"), testing::ExitedWithCode(1),
+                "unknown application");
+}
+
+} // namespace
+} // namespace dewrite
