@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_duplication.dir/bench_fig02_duplication.cc.o"
+  "CMakeFiles/bench_fig02_duplication.dir/bench_fig02_duplication.cc.o.d"
+  "bench_fig02_duplication"
+  "bench_fig02_duplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_duplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_prediction.dir/bench_fig04_prediction.cc.o"
+  "CMakeFiles/bench_fig04_prediction.dir/bench_fig04_prediction.cc.o.d"
+  "bench_fig04_prediction"
+  "bench_fig04_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_collisions.dir/bench_fig06_collisions.cc.o"
+  "CMakeFiles/bench_fig06_collisions.dir/bench_fig06_collisions.cc.o.d"
+  "bench_fig06_collisions"
+  "bench_fig06_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

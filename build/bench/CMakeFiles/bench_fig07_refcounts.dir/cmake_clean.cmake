@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_refcounts.dir/bench_fig07_refcounts.cc.o"
+  "CMakeFiles/bench_fig07_refcounts.dir/bench_fig07_refcounts.cc.o.d"
+  "bench_fig07_refcounts"
+  "bench_fig07_refcounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_refcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

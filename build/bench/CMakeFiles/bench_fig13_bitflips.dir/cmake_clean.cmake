@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_bitflips.dir/bench_fig13_bitflips.cc.o"
+  "CMakeFiles/bench_fig13_bitflips.dir/bench_fig13_bitflips.cc.o.d"
+  "bench_fig13_bitflips"
+  "bench_fig13_bitflips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_bitflips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_detection_latency.dir/bench_tab1_detection_latency.cc.o"
+  "CMakeFiles/bench_tab1_detection_latency.dir/bench_tab1_detection_latency.cc.o.d"
+  "bench_tab1_detection_latency"
+  "bench_tab1_detection_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_detection_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

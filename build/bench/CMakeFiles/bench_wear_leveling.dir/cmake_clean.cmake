@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wear_leveling.dir/bench_wear_leveling.cc.o"
+  "CMakeFiles/bench_wear_leveling.dir/bench_wear_leveling.cc.o.d"
+  "bench_wear_leveling"
+  "bench_wear_leveling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wear_leveling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/counter_cache.cc" "src/CMakeFiles/dewrite.dir/cache/counter_cache.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/cache/counter_cache.cc.o.d"
+  "/root/repo/src/cache/metadata_cache.cc" "src/CMakeFiles/dewrite.dir/cache/metadata_cache.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/cache/metadata_cache.cc.o.d"
+  "/root/repo/src/cache/set_assoc_cache.cc" "src/CMakeFiles/dewrite.dir/cache/set_assoc_cache.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/cache/set_assoc_cache.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/CMakeFiles/dewrite.dir/common/crc32.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/common/crc32.cc.o.d"
+  "/root/repo/src/common/hash_latency.cc" "src/CMakeFiles/dewrite.dir/common/hash_latency.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/common/hash_latency.cc.o.d"
+  "/root/repo/src/common/line.cc" "src/CMakeFiles/dewrite.dir/common/line.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/common/line.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/dewrite.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/dewrite.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/dewrite.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/dewrite.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/common/timing.cc" "src/CMakeFiles/dewrite.dir/common/timing.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/common/timing.cc.o.d"
+  "/root/repo/src/controller/bitlevel/bitflip.cc" "src/CMakeFiles/dewrite.dir/controller/bitlevel/bitflip.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/controller/bitlevel/bitflip.cc.o.d"
+  "/root/repo/src/controller/bitlevel/dcw.cc" "src/CMakeFiles/dewrite.dir/controller/bitlevel/dcw.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/controller/bitlevel/dcw.cc.o.d"
+  "/root/repo/src/controller/bitlevel/deuce.cc" "src/CMakeFiles/dewrite.dir/controller/bitlevel/deuce.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/controller/bitlevel/deuce.cc.o.d"
+  "/root/repo/src/controller/bitlevel/fnw.cc" "src/CMakeFiles/dewrite.dir/controller/bitlevel/fnw.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/controller/bitlevel/fnw.cc.o.d"
+  "/root/repo/src/controller/bitlevel/secret.cc" "src/CMakeFiles/dewrite.dir/controller/bitlevel/secret.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/controller/bitlevel/secret.cc.o.d"
+  "/root/repo/src/controller/bitlevel/shredder.cc" "src/CMakeFiles/dewrite.dir/controller/bitlevel/shredder.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/controller/bitlevel/shredder.cc.o.d"
+  "/root/repo/src/controller/dewrite_controller.cc" "src/CMakeFiles/dewrite.dir/controller/dewrite_controller.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/controller/dewrite_controller.cc.o.d"
+  "/root/repo/src/controller/plain_controller.cc" "src/CMakeFiles/dewrite.dir/controller/plain_controller.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/controller/plain_controller.cc.o.d"
+  "/root/repo/src/controller/secure_baseline.cc" "src/CMakeFiles/dewrite.dir/controller/secure_baseline.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/controller/secure_baseline.cc.o.d"
+  "/root/repo/src/cpu/core_model.cc" "src/CMakeFiles/dewrite.dir/cpu/core_model.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/cpu/core_model.cc.o.d"
+  "/root/repo/src/crypto/aes128.cc" "src/CMakeFiles/dewrite.dir/crypto/aes128.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/crypto/aes128.cc.o.d"
+  "/root/repo/src/crypto/counter_mode.cc" "src/CMakeFiles/dewrite.dir/crypto/counter_mode.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/crypto/counter_mode.cc.o.d"
+  "/root/repo/src/crypto/direct_encrypt.cc" "src/CMakeFiles/dewrite.dir/crypto/direct_encrypt.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/crypto/direct_encrypt.cc.o.d"
+  "/root/repo/src/crypto/md5.cc" "src/CMakeFiles/dewrite.dir/crypto/md5.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/crypto/md5.cc.o.d"
+  "/root/repo/src/crypto/sha1.cc" "src/CMakeFiles/dewrite.dir/crypto/sha1.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/crypto/sha1.cc.o.d"
+  "/root/repo/src/dedup/address_mapping.cc" "src/CMakeFiles/dewrite.dir/dedup/address_mapping.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/dedup/address_mapping.cc.o.d"
+  "/root/repo/src/dedup/dedup_engine.cc" "src/CMakeFiles/dewrite.dir/dedup/dedup_engine.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/dedup/dedup_engine.cc.o.d"
+  "/root/repo/src/dedup/fingerprint.cc" "src/CMakeFiles/dewrite.dir/dedup/fingerprint.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/dedup/fingerprint.cc.o.d"
+  "/root/repo/src/dedup/free_space.cc" "src/CMakeFiles/dewrite.dir/dedup/free_space.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/dedup/free_space.cc.o.d"
+  "/root/repo/src/dedup/hash_store.cc" "src/CMakeFiles/dewrite.dir/dedup/hash_store.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/dedup/hash_store.cc.o.d"
+  "/root/repo/src/dedup/inverted_hash.cc" "src/CMakeFiles/dewrite.dir/dedup/inverted_hash.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/dedup/inverted_hash.cc.o.d"
+  "/root/repo/src/dedup/predictor.cc" "src/CMakeFiles/dewrite.dir/dedup/predictor.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/dedup/predictor.cc.o.d"
+  "/root/repo/src/dedup/recovery.cc" "src/CMakeFiles/dewrite.dir/dedup/recovery.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/dedup/recovery.cc.o.d"
+  "/root/repo/src/nvm/nvm_address.cc" "src/CMakeFiles/dewrite.dir/nvm/nvm_address.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/nvm/nvm_address.cc.o.d"
+  "/root/repo/src/nvm/nvm_bank.cc" "src/CMakeFiles/dewrite.dir/nvm/nvm_bank.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/nvm/nvm_bank.cc.o.d"
+  "/root/repo/src/nvm/nvm_device.cc" "src/CMakeFiles/dewrite.dir/nvm/nvm_device.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/nvm/nvm_device.cc.o.d"
+  "/root/repo/src/nvm/start_gap.cc" "src/CMakeFiles/dewrite.dir/nvm/start_gap.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/nvm/start_gap.cc.o.d"
+  "/root/repo/src/nvm/wear_tracker.cc" "src/CMakeFiles/dewrite.dir/nvm/wear_tracker.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/nvm/wear_tracker.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/dewrite.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/dewrite.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/sim/system.cc.o.d"
+  "/root/repo/src/trace/app_catalog.cc" "src/CMakeFiles/dewrite.dir/trace/app_catalog.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/trace/app_catalog.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/CMakeFiles/dewrite.dir/trace/trace_file.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/trace/trace_file.cc.o.d"
+  "/root/repo/src/trace/trace_gen.cc" "src/CMakeFiles/dewrite.dir/trace/trace_gen.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/trace/trace_gen.cc.o.d"
+  "/root/repo/src/trace/workload_stats.cc" "src/CMakeFiles/dewrite.dir/trace/workload_stats.cc.o" "gcc" "src/CMakeFiles/dewrite.dir/trace/workload_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

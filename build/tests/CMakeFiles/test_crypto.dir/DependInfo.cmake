@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/aes128_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/aes128_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/aes128_test.cc.o.d"
+  "/root/repo/tests/crypto/counter_mode_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/counter_mode_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/counter_mode_test.cc.o.d"
+  "/root/repo/tests/crypto/digest_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/digest_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/digest_test.cc.o.d"
+  "/root/repo/tests/crypto/direct_encrypt_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/direct_encrypt_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/direct_encrypt_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dewrite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

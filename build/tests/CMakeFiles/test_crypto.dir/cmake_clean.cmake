@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/aes128_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/aes128_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/counter_mode_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/counter_mode_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/digest_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/digest_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/direct_encrypt_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/direct_encrypt_test.cc.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dedup/dedup_engine_test.cc" "tests/CMakeFiles/test_dedup.dir/dedup/dedup_engine_test.cc.o" "gcc" "tests/CMakeFiles/test_dedup.dir/dedup/dedup_engine_test.cc.o.d"
+  "/root/repo/tests/dedup/free_space_test.cc" "tests/CMakeFiles/test_dedup.dir/dedup/free_space_test.cc.o" "gcc" "tests/CMakeFiles/test_dedup.dir/dedup/free_space_test.cc.o.d"
+  "/root/repo/tests/dedup/hash_store_test.cc" "tests/CMakeFiles/test_dedup.dir/dedup/hash_store_test.cc.o" "gcc" "tests/CMakeFiles/test_dedup.dir/dedup/hash_store_test.cc.o.d"
+  "/root/repo/tests/dedup/predictor_test.cc" "tests/CMakeFiles/test_dedup.dir/dedup/predictor_test.cc.o" "gcc" "tests/CMakeFiles/test_dedup.dir/dedup/predictor_test.cc.o.d"
+  "/root/repo/tests/dedup/recovery_test.cc" "tests/CMakeFiles/test_dedup.dir/dedup/recovery_test.cc.o" "gcc" "tests/CMakeFiles/test_dedup.dir/dedup/recovery_test.cc.o.d"
+  "/root/repo/tests/dedup/tables_test.cc" "tests/CMakeFiles/test_dedup.dir/dedup/tables_test.cc.o" "gcc" "tests/CMakeFiles/test_dedup.dir/dedup/tables_test.cc.o.d"
+  "/root/repo/tests/dedup/traditional_dedup_test.cc" "tests/CMakeFiles/test_dedup.dir/dedup/traditional_dedup_test.cc.o" "gcc" "tests/CMakeFiles/test_dedup.dir/dedup/traditional_dedup_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dewrite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dedup.dir/dedup/dedup_engine_test.cc.o"
+  "CMakeFiles/test_dedup.dir/dedup/dedup_engine_test.cc.o.d"
+  "CMakeFiles/test_dedup.dir/dedup/free_space_test.cc.o"
+  "CMakeFiles/test_dedup.dir/dedup/free_space_test.cc.o.d"
+  "CMakeFiles/test_dedup.dir/dedup/hash_store_test.cc.o"
+  "CMakeFiles/test_dedup.dir/dedup/hash_store_test.cc.o.d"
+  "CMakeFiles/test_dedup.dir/dedup/predictor_test.cc.o"
+  "CMakeFiles/test_dedup.dir/dedup/predictor_test.cc.o.d"
+  "CMakeFiles/test_dedup.dir/dedup/recovery_test.cc.o"
+  "CMakeFiles/test_dedup.dir/dedup/recovery_test.cc.o.d"
+  "CMakeFiles/test_dedup.dir/dedup/tables_test.cc.o"
+  "CMakeFiles/test_dedup.dir/dedup/tables_test.cc.o.d"
+  "CMakeFiles/test_dedup.dir/dedup/traditional_dedup_test.cc.o"
+  "CMakeFiles/test_dedup.dir/dedup/traditional_dedup_test.cc.o.d"
+  "test_dedup"
+  "test_dedup.pdb"
+  "test_dedup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvm.dir/nvm/nvm_bank_test.cc.o"
+  "CMakeFiles/test_nvm.dir/nvm/nvm_bank_test.cc.o.d"
+  "CMakeFiles/test_nvm.dir/nvm/nvm_device_test.cc.o"
+  "CMakeFiles/test_nvm.dir/nvm/nvm_device_test.cc.o.d"
+  "CMakeFiles/test_nvm.dir/nvm/start_gap_test.cc.o"
+  "CMakeFiles/test_nvm.dir/nvm/start_gap_test.cc.o.d"
+  "CMakeFiles/test_nvm.dir/nvm/wear_tracker_test.cc.o"
+  "CMakeFiles/test_nvm.dir/nvm/wear_tracker_test.cc.o.d"
+  "test_nvm"
+  "test_nvm.pdb"
+  "test_nvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
