@@ -19,7 +19,7 @@
 #include <cstdio>
 
 #include "common/table_printer.hh"
-#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/app_catalog.hh"
 
 using namespace dewrite;
@@ -48,46 +48,51 @@ main()
 
     std::printf("(a) prediction-gated NVM hash access (PNA)\n\n");
     {
+        std::vector<ExperimentResult> cells(6);
+        parallelFor(cells.size(), [&](std::size_t i) {
+            DeWriteController::Options options;
+            options.pnaEnabled = i % 2 == 0;
+            cells[i] = run(kApps[i / 2], config, options);
+        });
         TablePrinter table({ "app", "PNA", "write lat (ns)",
                              "eliminated", "missed by PNA",
                              "metadata fills" });
-        for (const char *app : kApps) {
-            for (bool pna : { true, false }) {
-                DeWriteController::Options options;
-                options.pnaEnabled = pna;
-                const ExperimentResult r = run(app, config, options);
-                table.addRow(
-                    { app, pna ? "on" : "off",
-                      TablePrinter::num(r.run.avgWriteLatencyNs, 1),
-                      TablePrinter::percent(
-                          static_cast<double>(r.run.writesEliminated) /
-                          r.run.writes),
-                      TablePrinter::num(r.stats.get("missed_by_pna"), 0),
-                      TablePrinter::num(
-                          r.stats.get("metadata_fill_reads"), 0) });
-            }
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const ExperimentResult &r = cells[i];
+            table.addRow(
+                { kApps[i / 2], i % 2 == 0 ? "on" : "off",
+                  TablePrinter::num(r.run.avgWriteLatencyNs, 1),
+                  TablePrinter::percent(
+                      static_cast<double>(r.run.writesEliminated) /
+                      r.run.writes),
+                  TablePrinter::num(r.stats.get("missed_by_pna"), 0),
+                  TablePrinter::num(
+                      r.stats.get("metadata_fill_reads"), 0) });
         }
         table.print();
     }
 
     std::printf("\n(b) confirm-by-read vs trusting the fingerprint\n\n");
     {
+        std::vector<ExperimentResult> cells(6);
+        parallelFor(cells.size(), [&](std::size_t i) {
+            DeWriteController::Options options;
+            options.confirmByRead = i % 2 == 0;
+            cells[i] = run(kApps[i / 2], config, options);
+        });
         TablePrinter table({ "app", "confirm", "write lat (ns)",
                              "eliminated", "silent corruptions" });
-        for (const char *app : kApps) {
-            for (bool confirm : { true, false }) {
-                DeWriteController::Options options;
-                options.confirmByRead = confirm;
-                const ExperimentResult r = run(app, config, options);
-                table.addRow(
-                    { app, confirm ? "read+compare" : "trust hash",
-                      TablePrinter::num(r.run.avgWriteLatencyNs, 1),
-                      TablePrinter::percent(
-                          static_cast<double>(r.run.writesEliminated) /
-                          r.run.writes),
-                      TablePrinter::num(
-                          r.stats.get("unsafe_corruptions"), 0) });
-            }
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const ExperimentResult &r = cells[i];
+            table.addRow(
+                { kApps[i / 2],
+                  i % 2 == 0 ? "read+compare" : "trust hash",
+                  TablePrinter::num(r.run.avgWriteLatencyNs, 1),
+                  TablePrinter::percent(
+                      static_cast<double>(r.run.writesEliminated) /
+                      r.run.writes),
+                  TablePrinter::num(
+                      r.stats.get("unsafe_corruptions"), 0) });
         }
         table.print();
         std::printf("\n(zero corruptions here only means no collision "
@@ -98,67 +103,81 @@ main()
 
     std::printf("\n(c) history-window depth\n\n");
     {
+        const unsigned depths[] = { 1u, 3u, 8u };
+        std::vector<ExperimentResult> cells(9);
+        parallelFor(cells.size(), [&](std::size_t i) {
+            DeWriteController::Options options;
+            options.historyBits = depths[i % 3];
+            cells[i] = run(kApps[i / 3], config, options);
+        });
         TablePrinter table({ "app", "bits", "accuracy",
                              "write lat (ns)", "wasted AES" });
-        for (const char *app : kApps) {
-            for (unsigned bits : { 1u, 3u, 8u }) {
-                DeWriteController::Options options;
-                options.historyBits = bits;
-                const ExperimentResult r = run(app, config, options);
-                table.addRow(
-                    { app, TablePrinter::num(bits, 0),
-                      TablePrinter::percent(
-                          r.stats.get("prediction_accuracy")),
-                      TablePrinter::num(r.run.avgWriteLatencyNs, 1),
-                      TablePrinter::num(
-                          r.stats.get("wasted_encryptions"), 0) });
-            }
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const ExperimentResult &r = cells[i];
+            table.addRow(
+                { kApps[i / 3], TablePrinter::num(depths[i % 3], 0),
+                  TablePrinter::percent(
+                      r.stats.get("prediction_accuracy")),
+                  TablePrinter::num(r.run.avgWriteLatencyNs, 1),
+                  TablePrinter::num(
+                      r.stats.get("wasted_encryptions"), 0) });
         }
         table.print();
     }
 
     std::printf("\n(d-pre) bank interleaving policy\n\n");
     {
+        std::vector<ExperimentResult> cells(6);
+        parallelFor(cells.size(), [&](std::size_t i) {
+            SystemConfig swept = config;
+            swept.timing.rowInterleave = i % 2 == 1;
+            cells[i] =
+                run(kApps[i / 2], swept, DeWriteController::Options{});
+        });
         TablePrinter table({ "app", "interleave", "write lat (ns)",
                              "read lat (ns)", "IPC" });
-        for (const char *app : kApps) {
-            for (bool row : { false, true }) {
-                SystemConfig swept = config;
-                swept.timing.rowInterleave = row;
-                const ExperimentResult r =
-                    run(app, swept, DeWriteController::Options{});
-                table.addRow({ app, row ? "row" : "line",
-                               TablePrinter::num(
-                                   r.run.avgWriteLatencyNs, 1),
-                               TablePrinter::num(
-                                   r.run.avgReadLatencyNs, 1),
-                               TablePrinter::num(r.run.ipc, 3) });
-            }
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const ExperimentResult &r = cells[i];
+            table.addRow({ kApps[i / 2], i % 2 == 1 ? "row" : "line",
+                           TablePrinter::num(
+                               r.run.avgWriteLatencyNs, 1),
+                           TablePrinter::num(
+                               r.run.avgReadLatencyNs, 1),
+                           TablePrinter::num(r.run.ipc, 3) });
         }
         table.print();
     }
 
     std::printf("\n(d) persist write-queue depth\n\n");
     {
+        const unsigned depths[] = { 1u, 4u, 8u };
+        // 9 (app, depth) combos, each needing a baseline and a DeWrite
+        // run — flatten to 18 independent cells.
+        std::vector<ExperimentResult> cells(18);
+        parallelFor(cells.size(), [&](std::size_t i) {
+            const char *app = kApps[i / 6];
+            SystemConfig swept = config;
+            swept.timing.storeQueueDepth = depths[(i / 2) % 3];
+            if (i % 2 == 0)
+                cells[i] = runApp(appByName(app), swept,
+                                  secureBaselineScheme(),
+                                  experimentEvents() / 2,
+                                  appSeed(appByName(app)));
+            else
+                cells[i] =
+                    run(app, swept, DeWriteController::Options{});
+        });
         TablePrinter table({ "app", "depth", "baseline IPC",
                              "DeWrite IPC", "relative" });
-        for (const char *app : kApps) {
-            for (unsigned depth : { 1u, 4u, 8u }) {
-                SystemConfig swept = config;
-                swept.timing.storeQueueDepth = depth;
-                const ExperimentResult base =
-                    runApp(appByName(app), swept,
-                           secureBaselineScheme(),
-                           experimentEvents() / 2,
-                           appSeed(appByName(app)));
-                const ExperimentResult dewrite =
-                    run(app, swept, DeWriteController::Options{});
-                table.addRow({ app, TablePrinter::num(depth, 0),
-                               TablePrinter::num(base.run.ipc, 3),
-                               TablePrinter::num(dewrite.run.ipc, 3),
-                               TablePrinter::times(dewrite.run.ipc /
-                                                   base.run.ipc) });
-            }
+        for (std::size_t i = 0; i < cells.size(); i += 2) {
+            const ExperimentResult &base = cells[i];
+            const ExperimentResult &dewrite = cells[i + 1];
+            table.addRow({ kApps[i / 6],
+                           TablePrinter::num(depths[(i / 2) % 3], 0),
+                           TablePrinter::num(base.run.ipc, 3),
+                           TablePrinter::num(dewrite.run.ipc, 3),
+                           TablePrinter::times(dewrite.run.ipc /
+                                               base.run.ipc) });
         }
         table.print();
     }

@@ -14,7 +14,7 @@
 #include <cstdio>
 
 #include "common/table_printer.hh"
-#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/app_catalog.hh"
 #include "trace/workload_stats.hh"
 
@@ -25,21 +25,25 @@ main()
 {
     std::printf("Figure 2: duplicate lines written to NVMM\n\n");
 
+    const std::vector<AppProfile> &apps = appCatalog();
+    std::vector<WorkloadStats> stats(apps.size());
+    parallelFor(apps.size(), [&](std::size_t a) {
+        SyntheticWorkload trace(apps[a], appSeed(apps[a]));
+        stats[a] = measureWorkload(trace, experimentEvents());
+    });
+
     TablePrinter table({ "app", "suite", "dup lines", "zero lines",
                          "non-zero dup" });
     double dup_sum = 0.0;
     double zero_sum = 0.0;
-    for (const AppProfile &app : appCatalog()) {
-        SyntheticWorkload trace(app, appSeed(app));
-        const WorkloadStats stats =
-            measureWorkload(trace, experimentEvents());
-        dup_sum += stats.dupFraction();
-        zero_sum += stats.zeroFraction();
-        table.addRow({ app.name, app.suite,
-                       TablePrinter::percent(stats.dupFraction()),
-                       TablePrinter::percent(stats.zeroFraction()),
-                       TablePrinter::percent(stats.dupFraction() -
-                                             stats.zeroFraction()) });
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        dup_sum += stats[a].dupFraction();
+        zero_sum += stats[a].zeroFraction();
+        table.addRow({ apps[a].name, apps[a].suite,
+                       TablePrinter::percent(stats[a].dupFraction()),
+                       TablePrinter::percent(stats[a].zeroFraction()),
+                       TablePrinter::percent(stats[a].dupFraction() -
+                                             stats[a].zeroFraction()) });
     }
     const double n = static_cast<double>(appCatalog().size());
     table.addRow({ "AVERAGE", "-", TablePrinter::percent(dup_sum / n),

@@ -13,11 +13,12 @@
 
 #include <cstdio>
 
+#include <array>
 #include <unordered_map>
 
 #include "common/table_printer.hh"
 #include "dedup/predictor.hh"
-#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/app_catalog.hh"
 #include "trace/trace_gen.hh"
 
@@ -68,16 +69,22 @@ main()
     std::printf("Figure 4: prediction accuracy vs history window\n\n");
 
     const unsigned windows[] = { 1, 3, 5, 8 };
+    const std::vector<AppProfile> &apps = appCatalog();
+    std::vector<std::array<double, 4>> accs(apps.size());
+    parallelFor(apps.size(), [&](std::size_t a) {
+        const std::vector<bool> states =
+            dupStates(apps[a], experimentEvents());
+        for (std::size_t w = 0; w < 4; ++w)
+            accs[a][w] = accuracy(states, windows[w]);
+    });
+
     TablePrinter table({ "app", "k=1", "k=3", "k=5", "k=8" });
     double sums[4] = {};
-    for (const AppProfile &app : appCatalog()) {
-        const std::vector<bool> states =
-            dupStates(app, experimentEvents());
-        std::vector<std::string> row{ app.name };
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        std::vector<std::string> row{ apps[a].name };
         for (std::size_t w = 0; w < 4; ++w) {
-            const double acc = accuracy(states, windows[w]);
-            sums[w] += acc;
-            row.push_back(TablePrinter::percent(acc));
+            sums[w] += accs[a][w];
+            row.push_back(TablePrinter::percent(accs[a][w]));
         }
         table.addRow(std::move(row));
     }

@@ -19,11 +19,22 @@
 
 #include "common/crc32.hh"
 #include "common/table_printer.hh"
-#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/app_catalog.hh"
 #include "trace/trace_gen.hh"
 
 using namespace dewrite;
+
+namespace {
+
+struct CollisionCell {
+    std::uint64_t distinct = 0;
+    std::uint64_t colliding = 0;
+    double probability = 0.0;
+    double detect_mismatches = 0.0;
+};
+
+} // namespace
 
 int
 main()
@@ -31,15 +42,14 @@ main()
     std::printf("Figure 6: CRC-32 collision probability\n\n");
 
     SystemConfig config;
-    TablePrinter table({ "app", "distinct contents", "colliding",
-                         "collision prob", "detect mismatches" });
-    double prob_sum = 0.0;
-    for (const AppProfile &app : appCatalog()) {
+    const std::vector<AppProfile> &apps = appCatalog();
+    std::vector<CollisionCell> cells(apps.size());
+    parallelFor(apps.size(), [&](std::size_t a) {
         // Offline scan of the write-back stream.
-        SyntheticWorkload trace(app, appSeed(app));
+        SyntheticWorkload trace(apps[a], appSeed(apps[a]));
         std::unordered_map<std::uint32_t, std::uint64_t> by_crc;
         std::unordered_map<std::uint64_t, bool> seen;
-        std::uint64_t distinct = 0, colliding = 0;
+        CollisionCell &cell = cells[a];
         MemEvent event;
         for (std::uint64_t i = 0; i < experimentEvents() &&
                                   trace.next(event);
@@ -48,26 +58,34 @@ main()
                 continue;
             const std::uint64_t digest = event.data.contentDigest();
             if (seen.emplace(digest, true).second) {
-                ++distinct;
+                ++cell.distinct;
                 const std::uint32_t hash = crc32(event.data);
                 auto [it, fresh] = by_crc.emplace(hash, digest);
                 if (!fresh && it->second != digest)
-                    colliding += 2;
+                    cell.colliding += 2;
             }
         }
-        const double probability =
-            distinct ? static_cast<double>(colliding) / distinct : 0.0;
-        prob_sum += probability;
+        cell.probability =
+            cell.distinct ? static_cast<double>(cell.colliding) /
+                                static_cast<double>(cell.distinct)
+                          : 0.0;
 
         // What the live engine saw.
         const ExperimentResult r =
-            runApp(app, config, dewriteScheme(DedupMode::Predicted));
+            runApp(apps[a], config, dewriteScheme(DedupMode::Predicted));
+        cell.detect_mismatches = r.stats.get("collision_mismatches");
+    });
 
-        table.addRow({ app.name, TablePrinter::num(distinct, 0),
-                       TablePrinter::num(colliding, 0),
-                       TablePrinter::percent(probability, 4),
-                       TablePrinter::num(
-                           r.stats.get("collision_mismatches"), 0) });
+    TablePrinter table({ "app", "distinct contents", "colliding",
+                         "collision prob", "detect mismatches" });
+    double prob_sum = 0.0;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const CollisionCell &cell = cells[a];
+        prob_sum += cell.probability;
+        table.addRow({ apps[a].name, TablePrinter::num(cell.distinct, 0),
+                       TablePrinter::num(cell.colliding, 0),
+                       TablePrinter::percent(cell.probability, 4),
+                       TablePrinter::num(cell.detect_mismatches, 0) });
     }
     table.addRow({ "AVERAGE", "-", "-",
                    TablePrinter::percent(

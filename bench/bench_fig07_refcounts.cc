@@ -15,10 +15,24 @@
 
 #include "common/table_printer.hh"
 #include "controller/dewrite_controller.hh"
-#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/app_catalog.hh"
 
 using namespace dewrite;
+
+namespace {
+
+struct RefCountBuckets {
+    std::uint64_t total = 0;
+    std::uint64_t r1 = 0;
+    std::uint64_t r2 = 0;
+    std::uint64_t r9 = 0;
+    std::uint64_t r65 = 0;
+    std::uint64_t sat = 0;
+    double below = 0.0;
+};
+
+} // namespace
 
 int
 main()
@@ -26,49 +40,54 @@ main()
     std::printf("Figure 7: reference-count distribution\n\n");
 
     SystemConfig config;
-    TablePrinter table({ "app", "records", "ref=1", "ref 2-8",
-                         "ref 9-64", "ref 65-254", "ref=255(sat)",
-                         "below 255" });
-    double below_sum = 0.0;
-    for (const AppProfile &app : appCatalog()) {
+    const std::vector<AppProfile> &apps = appCatalog();
+    std::vector<RefCountBuckets> cells(apps.size());
+    parallelFor(apps.size(), [&](std::size_t a) {
         DetailedExperiment detailed =
-            runAppDetailed(app, config,
+            runAppDetailed(apps[a], config,
                            dewriteScheme(DedupMode::Predicted),
-                           experimentEvents(), appSeed(app));
+                           experimentEvents(), appSeed(apps[a]));
         const auto &ctrl = dynamic_cast<const DeWriteController &>(
             detailed.system->controller());
 
-        std::uint64_t total = 0, r1 = 0, r2 = 0, r9 = 0, r65 = 0,
-                      sat = 0;
+        RefCountBuckets &cell = cells[a];
         ctrl.engine().hashStore().forEach(
             [&](std::uint32_t, const HashEntry &entry) {
-                ++total;
+                ++cell.total;
                 if (entry.reference == 1)
-                    ++r1;
+                    ++cell.r1;
                 else if (entry.reference <= 8)
-                    ++r2;
+                    ++cell.r2;
                 else if (entry.reference <= 64)
-                    ++r9;
+                    ++cell.r9;
                 else if (entry.reference < 255)
-                    ++r65;
+                    ++cell.r65;
                 else
-                    ++sat;
+                    ++cell.sat;
             });
         // The paper's denominator is all lines of the module: lines
         // never written (the vast majority of a 16 GB NVMM) trivially
         // hold reference 0, and only the pinned records' lines sit at
         // the cap.
-        const double below =
-            1.0 - static_cast<double>(sat) /
+        cell.below =
+            1.0 - static_cast<double>(cell.sat) /
                       static_cast<double>(config.memory.numLines);
-        below_sum += below;
-        table.addRow({ app.name, TablePrinter::num(total, 0),
-                       TablePrinter::num(r1, 0),
-                       TablePrinter::num(r2, 0),
-                       TablePrinter::num(r9, 0),
-                       TablePrinter::num(r65, 0),
-                       TablePrinter::num(sat, 0),
-                       TablePrinter::percent(below, 3) });
+    });
+
+    TablePrinter table({ "app", "records", "ref=1", "ref 2-8",
+                         "ref 9-64", "ref 65-254", "ref=255(sat)",
+                         "below 255" });
+    double below_sum = 0.0;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const RefCountBuckets &cell = cells[a];
+        below_sum += cell.below;
+        table.addRow({ apps[a].name, TablePrinter::num(cell.total, 0),
+                       TablePrinter::num(cell.r1, 0),
+                       TablePrinter::num(cell.r2, 0),
+                       TablePrinter::num(cell.r9, 0),
+                       TablePrinter::num(cell.r65, 0),
+                       TablePrinter::num(cell.sat, 0),
+                       TablePrinter::percent(cell.below, 3) });
     }
     table.addRow({ "AVERAGE", "-", "-", "-", "-", "-", "-",
                    TablePrinter::percent(

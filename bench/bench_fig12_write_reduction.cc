@@ -15,7 +15,7 @@
 #include <cstdio>
 
 #include "common/table_printer.hh"
-#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/app_catalog.hh"
 #include "trace/workload_stats.hh"
 
@@ -27,16 +27,22 @@ main()
     std::printf("Figure 12: write reduction on secure NVMM\n\n");
 
     SystemConfig config;
+    const std::vector<AppProfile> &apps = appCatalog();
+    std::vector<WorkloadStats> truths(apps.size());
+    std::vector<ExperimentResult> results(apps.size());
+    parallelFor(apps.size(), [&](std::size_t a) {
+        SyntheticWorkload truth_trace(apps[a], appSeed(apps[a]));
+        truths[a] = measureWorkload(truth_trace, experimentEvents());
+        results[a] =
+            runApp(apps[a], config, dewriteScheme(DedupMode::Predicted));
+    });
+
     TablePrinter table({ "app", "dup truth", "eliminated", "missed",
                          "metadata wr", "net reduction" });
     double truth_sum = 0, elim_sum = 0, net_sum = 0;
-    for (const AppProfile &app : appCatalog()) {
-        SyntheticWorkload truth_trace(app, appSeed(app));
-        const WorkloadStats truth =
-            measureWorkload(truth_trace, experimentEvents());
-
-        const ExperimentResult r =
-            runApp(app, config, dewriteScheme(DedupMode::Predicted));
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const WorkloadStats &truth = truths[a];
+        const ExperimentResult &r = results[a];
 
         const double writes = static_cast<double>(r.run.writes);
         const double eliminated =
@@ -61,7 +67,7 @@ main()
         truth_sum += truth.dupFraction();
         elim_sum += eliminated;
         net_sum += net;
-        table.addRow({ app.name,
+        table.addRow({ apps[a].name,
                        TablePrinter::percent(truth.dupFraction()),
                        TablePrinter::percent(eliminated),
                        TablePrinter::percent(missed),

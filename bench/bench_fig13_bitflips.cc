@@ -15,7 +15,7 @@
 #include <cstdio>
 
 #include "common/table_printer.hh"
-#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/app_catalog.hh"
 
 using namespace dewrite;
@@ -45,31 +45,38 @@ main()
                                         BitTechnique::Deuce,
                                         BitTechnique::Secret };
 
+    std::vector<SchemeOptions> schemes;
+    for (int combo = 0; combo < 3; ++combo) {
+        for (BitTechnique technique : techniques) {
+            SchemeOptions scheme;
+            if (combo < 2) {
+                scheme = secureBaselineScheme();
+                scheme.baseline.technique = technique;
+                scheme.baseline.shredZeroLines = combo == 1;
+            } else {
+                scheme = dewriteScheme(DedupMode::Predicted);
+                scheme.dewrite.technique = technique;
+            }
+            schemes.push_back(scheme);
+        }
+    }
+
+    const std::vector<AppProfile> &apps = appCatalog();
+    const std::vector<ExperimentResult> cells =
+        runMatrix(apps, schemes, config, events);
+
     TablePrinter table({ "app", "DCW", "FNW", "DEUCE", "SECRET",
                          "Shr+DCW", "Shr+FNW", "Shr+DEUCE",
                          "Shr+SECRET", "DW+DCW", "DW+FNW", "DW+DEUCE",
                          "DW+SECRET" });
     double sums[12] = {};
-    for (const AppProfile &app : appCatalog()) {
-        std::vector<std::string> row{ app.name };
-        int column = 0;
-        for (int combo = 0; combo < 3; ++combo) {
-            for (BitTechnique technique : techniques) {
-                SchemeOptions scheme;
-                if (combo < 2) {
-                    scheme = secureBaselineScheme();
-                    scheme.baseline.technique = technique;
-                    scheme.baseline.shredZeroLines = combo == 1;
-                } else {
-                    scheme = dewriteScheme(DedupMode::Predicted);
-                    scheme.dewrite.technique = technique;
-                }
-                const ExperimentResult r =
-                    runApp(app, config, scheme, events, appSeed(app));
-                const double flips = flipFraction(r.run);
-                sums[column++] += flips;
-                row.push_back(TablePrinter::percent(flips));
-            }
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        std::vector<std::string> row{ apps[a].name };
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            const double flips =
+                flipFraction(cells[a * schemes.size() + s].run);
+            sums[s] += flips;
+            row.push_back(TablePrinter::percent(flips));
         }
         table.addRow(std::move(row));
     }

@@ -12,7 +12,7 @@
 #include <cstdio>
 
 #include "common/table_printer.hh"
-#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/app_catalog.hh"
 
 using namespace dewrite;
@@ -23,18 +23,22 @@ main()
     std::printf("Figure 14: memory write speedup\n\n");
 
     SystemConfig config;
+    const std::vector<AppProfile> &apps = appCatalog();
+    const std::vector<ExperimentResult> cells =
+        runMatrix(apps, { secureBaselineScheme(),
+                          dewriteScheme(DedupMode::Predicted) },
+                  config);
+
     TablePrinter table({ "app", "baseline (ns)", "DeWrite (ns)",
                          "speedup" });
     double speedup_sum = 0.0;
-    for (const AppProfile &app : appCatalog()) {
-        const ExperimentResult base =
-            runApp(app, config, secureBaselineScheme());
-        const ExperimentResult dewrite =
-            runApp(app, config, dewriteScheme(DedupMode::Predicted));
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const ExperimentResult &base = cells[2 * a];
+        const ExperimentResult &dewrite = cells[2 * a + 1];
         const double speedup =
             base.run.avgWriteLatencyNs / dewrite.run.avgWriteLatencyNs;
         speedup_sum += speedup;
-        table.addRow({ app.name,
+        table.addRow({ apps[a].name,
                        TablePrinter::num(base.run.avgWriteLatencyNs, 1),
                        TablePrinter::num(dewrite.run.avgWriteLatencyNs,
                                          1),

@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "common/table_printer.hh"
-#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/app_catalog.hh"
 
 using namespace dewrite;
@@ -25,16 +25,20 @@ main()
                 "(normalized to the direct way)\n\n");
 
     SystemConfig config;
+    const std::vector<AppProfile> &apps = appCatalog();
+    const std::vector<ExperimentResult> cells =
+        runMatrix(apps, { dewriteScheme(DedupMode::Direct),
+                          dewriteScheme(DedupMode::Parallel),
+                          dewriteScheme(DedupMode::Predicted) },
+                  config);
+
     TablePrinter table({ "app", "direct (ns)", "parallel/direct",
                          "DeWrite/direct" });
     double parallel_sum = 0.0, dewrite_sum = 0.0;
-    for (const AppProfile &app : appCatalog()) {
-        const ExperimentResult direct =
-            runApp(app, config, dewriteScheme(DedupMode::Direct));
-        const ExperimentResult parallel =
-            runApp(app, config, dewriteScheme(DedupMode::Parallel));
-        const ExperimentResult predicted =
-            runApp(app, config, dewriteScheme(DedupMode::Predicted));
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const ExperimentResult &direct = cells[3 * a];
+        const ExperimentResult &parallel = cells[3 * a + 1];
+        const ExperimentResult &predicted = cells[3 * a + 2];
 
         const double par_rel = parallel.run.avgWriteLatencyNs /
                                direct.run.avgWriteLatencyNs;
@@ -43,7 +47,7 @@ main()
         parallel_sum += par_rel;
         dewrite_sum += dw_rel;
         table.addRow(
-            { app.name,
+            { apps[a].name,
               TablePrinter::num(direct.run.avgWriteLatencyNs, 1),
               TablePrinter::percent(par_rel),
               TablePrinter::percent(dw_rel) });

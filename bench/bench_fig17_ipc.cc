@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "common/table_printer.hh"
-#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/app_catalog.hh"
 
 using namespace dewrite;
@@ -22,17 +22,21 @@ main()
     std::printf("Figure 17: IPC relative to the secure baseline\n\n");
 
     SystemConfig config;
+    const std::vector<AppProfile> &apps = appCatalog();
+    const std::vector<ExperimentResult> cells =
+        runMatrix(apps, { secureBaselineScheme(),
+                          dewriteScheme(DedupMode::Predicted) },
+                  config);
+
     TablePrinter table({ "app", "baseline IPC", "DeWrite IPC",
                          "relative" });
     double rel_sum = 0.0;
-    for (const AppProfile &app : appCatalog()) {
-        const ExperimentResult base =
-            runApp(app, config, secureBaselineScheme());
-        const ExperimentResult dewrite =
-            runApp(app, config, dewriteScheme(DedupMode::Predicted));
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const ExperimentResult &base = cells[2 * a];
+        const ExperimentResult &dewrite = cells[2 * a + 1];
         const double relative = dewrite.run.ipc / base.run.ipc;
         rel_sum += relative;
-        table.addRow({ app.name, TablePrinter::num(base.run.ipc, 3),
+        table.addRow({ apps[a].name, TablePrinter::num(base.run.ipc, 3),
                        TablePrinter::num(dewrite.run.ipc, 3),
                        TablePrinter::times(relative) });
     }

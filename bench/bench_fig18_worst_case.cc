@@ -15,7 +15,7 @@
 #include <memory>
 
 #include "common/table_printer.hh"
-#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/trace_gen.hh"
 
 using namespace dewrite;
@@ -44,9 +44,15 @@ main()
     std::printf("Figure 18: worst case — zero duplicate writes\n\n");
 
     SystemConfig config;
-    const RunResult base = runWorstCase(config, secureBaselineScheme());
-    const RunResult dewrite =
-        runWorstCase(config, dewriteScheme(DedupMode::Predicted));
+    const SchemeOptions schemes[] = { secureBaselineScheme(),
+                                      dewriteScheme(
+                                          DedupMode::Predicted) };
+    std::vector<RunResult> runs(2);
+    parallelFor(2, [&](std::size_t s) {
+        runs[s] = runWorstCase(config, schemes[s]);
+    });
+    const RunResult &base = runs[0];
+    const RunResult &dewrite = runs[1];
 
     TablePrinter table({ "metric", "baseline", "DeWrite",
                          "DeWrite/baseline" });

@@ -14,7 +14,7 @@
 #include <cstdio>
 
 #include "common/table_printer.hh"
-#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/app_catalog.hh"
 
 using namespace dewrite;
@@ -25,20 +25,24 @@ main()
     std::printf("Figure 19: energy relative to the secure baseline\n\n");
 
     SystemConfig config;
+    const std::vector<AppProfile> &apps = appCatalog();
+    const std::vector<ExperimentResult> cells =
+        runMatrix(apps, { secureBaselineScheme(),
+                          dewriteScheme(DedupMode::Predicted) },
+                  config);
+
     TablePrinter table({ "app", "baseline (uJ)", "DeWrite (uJ)",
                          "relative" });
     double rel_sum = 0.0;
-    for (const AppProfile &app : appCatalog()) {
-        const ExperimentResult base =
-            runApp(app, config, secureBaselineScheme());
-        const ExperimentResult dewrite =
-            runApp(app, config, dewriteScheme(DedupMode::Predicted));
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const ExperimentResult &base = cells[2 * a];
+        const ExperimentResult &dewrite = cells[2 * a + 1];
         const double relative =
             static_cast<double>(dewrite.run.totalEnergy) /
             static_cast<double>(base.run.totalEnergy);
         rel_sum += relative;
         table.addRow(
-            { app.name,
+            { apps[a].name,
               TablePrinter::num(
                   static_cast<double>(base.run.totalEnergy) / 1e6, 1),
               TablePrinter::num(

@@ -16,7 +16,7 @@
 #include <cstdio>
 
 #include "common/table_printer.hh"
-#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/app_catalog.hh"
 
 using namespace dewrite;
@@ -27,14 +27,14 @@ namespace {
 double
 meanHitRate(const SystemConfig &config, const char *stat)
 {
+    const std::vector<AppProfile> &apps = appCatalog();
+    const std::vector<ExperimentResult> cells =
+        runMatrix(apps, { dewriteScheme(DedupMode::Predicted) }, config,
+                  experimentEvents() / 4);
     double sum = 0.0;
-    for (const AppProfile &app : appCatalog()) {
-        const ExperimentResult r =
-            runApp(app, config, dewriteScheme(DedupMode::Predicted),
-                   experimentEvents() / 4, appSeed(app));
+    for (const ExperimentResult &r : cells)
         sum += r.stats.get(stat);
-    }
-    return sum / static_cast<double>(appCatalog().size());
+    return sum / static_cast<double>(apps.size());
 }
 
 } // namespace

@@ -50,6 +50,34 @@ BM_AesEncryptBlockReference(benchmark::State &state)
 BENCHMARK(BM_AesEncryptBlockReference);
 
 void
+BM_AesDecryptBlock(benchmark::State &state)
+{
+    const Aes128 aes(defaultAesKey());
+    AesBlock block{};
+    for (auto _ : state) {
+        block = aes.decryptBlock(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesDecryptBlock);
+
+void
+BM_AesDecryptBlockReference(benchmark::State &state)
+{
+    const Aes128 aes(defaultAesKey());
+    AesBlock block{};
+    for (auto _ : state) {
+        block = aes.decryptBlockReference(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesDecryptBlockReference);
+
+void
 BM_CmeEncryptLine(benchmark::State &state)
 {
     const CounterModeEngine cme(defaultAesKey());
@@ -95,6 +123,48 @@ BM_Crc32Line(benchmark::State &state)
 BENCHMARK(BM_Crc32Line);
 
 void
+BM_Crc32LineReference(benchmark::State &state)
+{
+    Rng rng(3);
+    const Line line = Line::random(rng);
+    for (auto _ : state) {
+        std::uint32_t hash = crc32Reference(line.data(), kLineSize);
+        benchmark::DoNotOptimize(hash);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineSize);
+}
+BENCHMARK(BM_Crc32LineReference);
+
+void
+BM_Crc32cLine(benchmark::State &state)
+{
+    Rng rng(3);
+    const Line line = Line::random(rng);
+    for (auto _ : state) {
+        std::uint32_t hash = crc32c(line);
+        benchmark::DoNotOptimize(hash);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineSize);
+}
+BENCHMARK(BM_Crc32cLine);
+
+void
+BM_ContentDigest(benchmark::State &state)
+{
+    Rng rng(3);
+    const Line line = Line::random(rng);
+    for (auto _ : state) {
+        std::uint64_t digest = line.contentDigest();
+        benchmark::DoNotOptimize(digest);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineSize);
+}
+BENCHMARK(BM_ContentDigest);
+
+void
 BM_LineCompare(benchmark::State &state)
 {
     Rng rng(4);
@@ -104,8 +174,26 @@ BM_LineCompare(benchmark::State &state)
         bool equal = a == b;
         benchmark::DoNotOptimize(equal);
     }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineSize);
 }
 BENCHMARK(BM_LineCompare);
+
+void
+BM_LineCompareLastWordDiffers(benchmark::State &state)
+{
+    Rng rng(4);
+    const Line a = Line::random(rng);
+    Line b = a;
+    b.setByte(kLineSize - 1, b.byte(kLineSize - 1) ^ 1);
+    for (auto _ : state) {
+        bool equal = a == b;
+        benchmark::DoNotOptimize(equal);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineSize);
+}
+BENCHMARK(BM_LineCompareLastWordDiffers);
 
 } // namespace
 

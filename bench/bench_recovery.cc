@@ -15,10 +15,21 @@
 #include "common/table_printer.hh"
 #include "controller/dewrite_controller.hh"
 #include "dedup/recovery.hh"
-#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/app_catalog.hh"
 
 using namespace dewrite;
+
+namespace {
+
+struct CrashCell {
+    std::size_t records = 0;
+    bool damagedConsistent = false;
+    RecoveryReport rebuilt;
+    bool healedConsistent = false;
+};
+
+} // namespace
 
 int
 main()
@@ -30,14 +41,13 @@ main()
 
     std::printf("(a) crash, rebuild, audit\n\n");
     {
-        TablePrinter table({ "app", "records", "audit after crash",
-                             "rebuilt", "audit after rebuild",
-                             "scan time (ms)" });
-        for (const char *name : { "lbm", "gcc", "vips" }) {
+        const char *const names[] = { "lbm", "gcc", "vips" };
+        std::vector<CrashCell> cells(3);
+        parallelFor(cells.size(), [&](std::size_t i) {
             DetailedExperiment detailed = runAppDetailed(
-                appByName(name), config,
+                appByName(names[i]), config,
                 dewriteScheme(DedupMode::Predicted),
-                experimentEvents() / 4, appSeed(appByName(name)));
+                experimentEvents() / 4, appSeed(appByName(names[i])));
             auto &ctrl = dynamic_cast<DeWriteController &>(
                 detailed.system->controller());
             // The engine is owned by the controller; recovery operates
@@ -45,19 +55,26 @@ main()
             auto &engine = const_cast<DedupEngine &>(ctrl.engine());
             RecoveryManager recovery(engine);
 
-            const std::size_t records = engine.hashStore().size();
+            CrashCell &cell = cells[i];
+            cell.records = engine.hashStore().size();
             recovery.simulateCrashDamage();
-            const AuditReport damaged = recovery.audit();
-            const RecoveryReport rebuilt = recovery.rebuild();
-            const AuditReport healed = recovery.audit();
-
+            cell.damagedConsistent = recovery.audit().consistent();
+            cell.rebuilt = recovery.rebuild();
+            cell.healedConsistent = recovery.audit().consistent();
+        });
+        TablePrinter table({ "app", "records", "audit after crash",
+                             "rebuilt", "audit after rebuild",
+                             "scan time (ms)" });
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const CrashCell &cell = cells[i];
             table.addRow(
-                { name, TablePrinter::num(records, 0),
-                  damaged.consistent() ? "clean (?)" : "violations",
-                  TablePrinter::num(rebuilt.recordsRebuilt, 0),
-                  healed.consistent() ? "clean" : "VIOLATIONS",
+                { names[i], TablePrinter::num(cell.records, 0),
+                  cell.damagedConsistent ? "clean (?)" : "violations",
+                  TablePrinter::num(cell.rebuilt.recordsRebuilt, 0),
+                  cell.healedConsistent ? "clean" : "VIOLATIONS",
                   TablePrinter::num(
-                      static_cast<double>(rebuilt.estimatedScanTime) /
+                      static_cast<double>(
+                          cell.rebuilt.estimatedScanTime) /
                           kMilliSecond,
                       2) });
         }
@@ -93,27 +110,32 @@ main()
 
     std::printf("\n(c) durability policy write amplification\n\n");
     {
+        const char *const names[] = { "lbm", "vips" };
+        const MetadataWritePolicy policies[] = {
+            MetadataWritePolicy::LazyBattery,
+            MetadataWritePolicy::WriteThrough
+        };
+        std::vector<ExperimentResult> cells(4);
+        parallelFor(cells.size(), [&](std::size_t i) {
+            SystemConfig swept = config;
+            swept.memory.metadataWritePolicy = policies[i % 2];
+            cells[i] = runApp(appByName(names[i / 2]), swept,
+                              dewriteScheme(DedupMode::Predicted),
+                              experimentEvents() / 4,
+                              appSeed(appByName(names[i / 2])));
+        });
         TablePrinter table({ "app", "policy", "metadata NVM writes",
                              "write lat (ns)" });
-        for (const char *name : { "lbm", "vips" }) {
-            for (MetadataWritePolicy policy :
-                 { MetadataWritePolicy::LazyBattery,
-                   MetadataWritePolicy::WriteThrough }) {
-                SystemConfig swept = config;
-                swept.memory.metadataWritePolicy = policy;
-                const ExperimentResult r = runApp(
-                    appByName(name), swept,
-                    dewriteScheme(DedupMode::Predicted),
-                    experimentEvents() / 4, appSeed(appByName(name)));
-                table.addRow(
-                    { name,
-                      policy == MetadataWritePolicy::LazyBattery
-                          ? "lazy (battery)"
-                          : "write-through",
-                      TablePrinter::num(
-                          r.stats.get("metadata_writebacks"), 0),
-                      TablePrinter::num(r.run.avgWriteLatencyNs, 1) });
-            }
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const ExperimentResult &r = cells[i];
+            table.addRow(
+                { names[i / 2],
+                  policies[i % 2] == MetadataWritePolicy::LazyBattery
+                      ? "lazy (battery)"
+                      : "write-through",
+                  TablePrinter::num(
+                      r.stats.get("metadata_writebacks"), 0),
+                  TablePrinter::num(r.run.avgWriteLatencyNs, 1) });
         }
         table.print();
     }

@@ -16,7 +16,7 @@
 #include "common/rng.hh"
 #include "common/table_printer.hh"
 #include "nvm/start_gap.hh"
-#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 
 using namespace dewrite;
 
@@ -104,21 +104,23 @@ main()
     TablePrinter table({ "scheme", "writes eliminated",
                          "NVM line writes", "max line wear",
                          "max-wear vs worst" });
-    double worst = 0;
-    for (int dedup = 0; dedup < 2; ++dedup) {
-        for (int leveling = 0; leveling < 2; ++leveling) {
-            const Outcome outcome = run(dedup, leveling);
-            if (worst == 0)
-                worst = static_cast<double>(outcome.maxWear);
-            std::string label = dedup ? "DeWrite" : "secure baseline";
-            label += leveling ? " + Start-Gap" : "";
-            table.addRow(
-                { label, TablePrinter::num(outcome.eliminated, 0),
-                  TablePrinter::num(outcome.lineWrites, 0),
-                  TablePrinter::num(outcome.maxWear, 0),
-                  TablePrinter::times(
-                      worst / static_cast<double>(outcome.maxWear)) });
-        }
+    std::vector<Outcome> outcomes(4);
+    parallelFor(outcomes.size(), [&](std::size_t i) {
+        outcomes[i] = run(i / 2 != 0, i % 2 != 0);
+    });
+    // Normalize against the plain secure baseline (no dedup, no
+    // leveling), the worst performer.
+    const double worst = static_cast<double>(outcomes[0].maxWear);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const Outcome &outcome = outcomes[i];
+        std::string label = i / 2 != 0 ? "DeWrite" : "secure baseline";
+        label += i % 2 != 0 ? " + Start-Gap" : "";
+        table.addRow(
+            { label, TablePrinter::num(outcome.eliminated, 0),
+              TablePrinter::num(outcome.lineWrites, 0),
+              TablePrinter::num(outcome.maxWear, 0),
+              TablePrinter::times(
+                  worst / static_cast<double>(outcome.maxWear)) });
     }
     table.print();
 

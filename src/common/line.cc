@@ -8,6 +8,7 @@
 #include <bit>
 #include <cstdio>
 
+#include "common/crc32.hh"
 #include "common/rng.hh"
 
 namespace dewrite {
@@ -115,12 +116,10 @@ Line::popcount() const
 std::uint64_t
 Line::contentDigest() const
 {
-    std::uint64_t digest = 0xcbf29ce484222325ULL; // FNV offset basis.
-    for (std::size_t i = 0; i < kLineSize / 8; ++i) {
-        digest ^= word64(i);
-        digest *= 0x100000001b3ULL; // FNV prime.
-    }
-    return digest;
+    const std::uint64_t hi = crc32c(bytes_.data(), kLineSize / 2);
+    const std::uint64_t lo =
+        crc32c(bytes_.data() + kLineSize / 2, kLineSize / 2);
+    return (hi << 32) | lo;
 }
 
 std::string

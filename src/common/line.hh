@@ -92,12 +92,34 @@ class Line
     /** Number of set bits in the line. */
     std::size_t popcount() const;
 
-    bool operator==(const Line &other) const = default;
+    /**
+     * Full-content equality, scanned eight bytes at a time — the
+     * confirm-by-read compare the dedup engine runs on every
+     * fingerprint match, so it is a simulator hot path.
+     */
+    bool
+    operator==(const Line &other) const
+    {
+        for (std::size_t i = 0; i < kLineSize; i += 8) {
+            std::uint64_t a, b;
+            std::memcpy(&a, bytes_.data() + i, 8);
+            std::memcpy(&b, other.bytes_.data() + i, 8);
+            if (a != b)
+                return false;
+        }
+        return true;
+    }
 
     /** Short hex digest of the first bytes, for debugging output. */
     std::string debugString() const;
 
-    /** 64-bit content digest (FNV-1a) for hash-map keys. */
+    /**
+     * 64-bit content digest for hash-map keys: CRC-32C of each half
+     * line, concatenated. CRC-32C is hardware-accelerated on SSE4.2
+     * hosts and the portable fallback computes the same polynomial,
+     * so digests are identical everywhere. Not the paper's
+     * fingerprint — that is crc32() — just host-side keying.
+     */
     std::uint64_t contentDigest() const;
 
   private:

@@ -6,12 +6,23 @@
  * field inverse and affine map rather than pasted as a 256-entry table,
  * which both documents where the values come from and removes a class
  * of transcription errors.
+ *
+ * Three kernels share the expanded key: the byte-oriented reference
+ * (the spec, kept as the testing oracle), a four-T-table software
+ * kernel with construction-time word round keys, and hardware AES-NI.
+ * The fast entry points dispatch once at startup on CPU capability;
+ * all kernels are bit-identical.
  */
 
 #include "crypto/aes128.hh"
 
 #include <bit>
 #include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define DEWRITE_X86 1
+#endif
 
 namespace dewrite {
 
@@ -74,13 +85,14 @@ struct SBoxTables
 const SBoxTables kSBox;
 
 /**
- * Encryption T-table: Te0[x] packs MixColumns applied to S[x] as the
- * big-endian column (2*S[x], S[x], S[x], 3*S[x]); the other three
- * tables are byte rotations of it, computed with std::rotr at use.
+ * Encryption T-tables: te[0][x] packs MixColumns applied to S[x] as
+ * the big-endian column (2*S[x], S[x], S[x], 3*S[x]); te[1..3] are its
+ * byte rotations, precomputed so the round loop is pure loads and
+ * xors.
  */
 struct TeTable
 {
-    std::array<std::uint32_t, 256> te0;
+    std::array<std::array<std::uint32_t, 256>, 4> te;
 
     TeTable()
     {
@@ -88,10 +100,15 @@ struct TeTable
             const std::uint8_t s = kSBox.fwd[x];
             const std::uint8_t s2 = gfMul(s, 2);
             const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
-            te0[x] = (static_cast<std::uint32_t>(s2) << 24) |
-                     (static_cast<std::uint32_t>(s) << 16) |
-                     (static_cast<std::uint32_t>(s) << 8) |
-                     static_cast<std::uint32_t>(s3);
+            const std::uint32_t w =
+                (static_cast<std::uint32_t>(s2) << 24) |
+                (static_cast<std::uint32_t>(s) << 16) |
+                (static_cast<std::uint32_t>(s) << 8) |
+                static_cast<std::uint32_t>(s3);
+            te[0][x] = w;
+            te[1][x] = std::rotr(w, 8);
+            te[2][x] = std::rotr(w, 16);
+            te[3][x] = std::rotr(w, 24);
         }
     }
 };
@@ -175,6 +192,19 @@ addRoundKey(AesBlock &state, const std::uint8_t *round_key)
         state[i] ^= round_key[i];
 }
 
+bool
+cpuHasAesni()
+{
+#ifdef DEWRITE_X86
+    return __builtin_cpu_supports("aes") &&
+           __builtin_cpu_supports("sse2");
+#else
+    return false;
+#endif
+}
+
+const bool kUseAesni = cpuHasAesni();
+
 } // namespace
 
 Aes128::Aes128(const AesKey &key)
@@ -208,12 +238,115 @@ Aes128::expandKey(const AesKey &key)
                 roundKeys_[4 * (word - 4) + i] ^ temp[i];
         }
     }
+
+    // Pre-swap every round key into the big-endian column words the
+    // T-table kernel consumes, once instead of on every block.
+    for (int w = 0; w < 4 * (kRounds + 1); ++w) {
+        const std::uint8_t *p = roundKeys_.data() + 4 * w;
+        encKeys_[w] = (static_cast<std::uint32_t>(p[0]) << 24) |
+                      (static_cast<std::uint32_t>(p[1]) << 16) |
+                      (static_cast<std::uint32_t>(p[2]) << 8) |
+                      static_cast<std::uint32_t>(p[3]);
+    }
+
+    // Equivalent-inverse-cipher keys for AES-NI decryption: the middle
+    // round keys passed through InvMixColumns (FIPS-197 Section 5.3.5).
+    imcKeys_.fill(0);
+    if (kUseAesni) {
+        for (int round = 1; round < kRounds; ++round) {
+            AesBlock k;
+            std::memcpy(k.data(), roundKeys_.data() + 16 * round, 16);
+            invMixColumns(k);
+            std::memcpy(imcKeys_.data() + 16 * (round - 1), k.data(),
+                        16);
+        }
+    }
+}
+
+bool
+Aes128::usesAesni()
+{
+    return kUseAesni;
 }
 
 AesBlock
 Aes128::encryptBlock(const AesBlock &plaintext) const
 {
-    // Load the state as four big-endian column words.
+#ifdef DEWRITE_X86
+    if (kUseAesni)
+        return encryptBlockAesni(plaintext);
+#endif
+    return encryptBlockTables(plaintext);
+}
+
+AesBlock
+Aes128::decryptBlock(const AesBlock &ciphertext) const
+{
+#ifdef DEWRITE_X86
+    if (kUseAesni)
+        return decryptBlockAesni(ciphertext);
+#endif
+    return decryptBlockReference(ciphertext);
+}
+
+#ifdef DEWRITE_X86
+
+__attribute__((target("aes,sse2"))) AesBlock
+Aes128::encryptBlockAesni(const AesBlock &plaintext) const
+{
+    const auto *keys = reinterpret_cast<const __m128i *>(
+        roundKeys_.data());
+    __m128i state = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(plaintext.data()));
+    state = _mm_xor_si128(state, _mm_loadu_si128(keys));
+    for (int round = 1; round < kRounds; ++round)
+        state = _mm_aesenc_si128(state, _mm_loadu_si128(keys + round));
+    state = _mm_aesenclast_si128(state, _mm_loadu_si128(keys + kRounds));
+
+    AesBlock out;
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out.data()), state);
+    return out;
+}
+
+__attribute__((target("aes,sse2"))) AesBlock
+Aes128::decryptBlockAesni(const AesBlock &ciphertext) const
+{
+    const auto *keys = reinterpret_cast<const __m128i *>(
+        roundKeys_.data());
+    const auto *imc = reinterpret_cast<const __m128i *>(
+        imcKeys_.data());
+    __m128i state = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(ciphertext.data()));
+    state = _mm_xor_si128(state, _mm_loadu_si128(keys + kRounds));
+    for (int round = kRounds - 1; round >= 1; --round)
+        state = _mm_aesdec_si128(state,
+                                 _mm_loadu_si128(imc + (round - 1)));
+    state = _mm_aesdeclast_si128(state, _mm_loadu_si128(keys));
+
+    AesBlock out;
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out.data()), state);
+    return out;
+}
+
+#else // !DEWRITE_X86
+
+AesBlock
+Aes128::encryptBlockAesni(const AesBlock &plaintext) const
+{
+    return encryptBlockTables(plaintext);
+}
+
+AesBlock
+Aes128::decryptBlockAesni(const AesBlock &ciphertext) const
+{
+    return decryptBlockReference(ciphertext);
+}
+
+#endif // DEWRITE_X86
+
+AesBlock
+Aes128::encryptBlockTables(const AesBlock &plaintext) const
+{
     auto load = [](const std::uint8_t *p) {
         return (static_cast<std::uint32_t>(p[0]) << 24) |
                (static_cast<std::uint32_t>(p[1]) << 16) |
@@ -221,10 +354,7 @@ Aes128::encryptBlock(const AesBlock &plaintext) const
                static_cast<std::uint32_t>(p[3]);
     };
 
-    std::uint32_t rk[4 * (kRounds + 1)];
-    for (int w = 0; w < 4 * (kRounds + 1); ++w)
-        rk[w] = load(roundKeys_.data() + 4 * w);
-
+    const std::uint32_t *rk = encKeys_.data();
     std::uint32_t s0 = load(plaintext.data() + 0) ^ rk[0];
     std::uint32_t s1 = load(plaintext.data() + 4) ^ rk[1];
     std::uint32_t s2 = load(plaintext.data() + 8) ^ rk[2];
@@ -232,10 +362,8 @@ Aes128::encryptBlock(const AesBlock &plaintext) const
 
     auto column = [](std::uint32_t a, std::uint32_t b, std::uint32_t c,
                      std::uint32_t d) {
-        return kTe.te0[a >> 24] ^
-               std::rotr(kTe.te0[(b >> 16) & 0xff], 8) ^
-               std::rotr(kTe.te0[(c >> 8) & 0xff], 16) ^
-               std::rotr(kTe.te0[d & 0xff], 24);
+        return kTe.te[0][a >> 24] ^ kTe.te[1][(b >> 16) & 0xff] ^
+               kTe.te[2][(c >> 8) & 0xff] ^ kTe.te[3][d & 0xff];
     };
 
     for (int round = 1; round < kRounds; ++round) {
@@ -305,7 +433,7 @@ Aes128::encryptBlockReference(const AesBlock &plaintext) const
 }
 
 AesBlock
-Aes128::decryptBlock(const AesBlock &ciphertext) const
+Aes128::decryptBlockReference(const AesBlock &ciphertext) const
 {
     AesBlock state = ciphertext;
     addRoundKey(state, roundKeys_.data() + 16 * kRounds);

@@ -27,7 +27,9 @@ using AesKey = std::array<std::uint8_t, 16>;
 
 /**
  * AES-128 with a fixed key; the round keys are expanded once at
- * construction.
+ * construction, both as bytes (for the reference path and AES-NI
+ * loads) and as pre-swapped column words (for the T-table path, so
+ * encryptBlock never re-derives them per call).
  */
 class Aes128
 {
@@ -35,20 +37,28 @@ class Aes128
     explicit Aes128(const AesKey &key);
 
     /**
-     * Encrypts one 16-byte block (T-table implementation — this is the
-     * simulator's hottest function: every line encryption, OTP, and
-     * dedup confirmation runs 16 of these).
+     * Encrypts one 16-byte block — the simulator's hottest function:
+     * every line encryption, OTP, and dedup confirmation runs 16 of
+     * these. Dispatches once at startup to hardware AES-NI where the
+     * CPU has it, and to a four-T-table software kernel otherwise;
+     * both are property-tested against encryptBlockReference.
      */
     AesBlock encryptBlock(const AesBlock &plaintext) const;
 
     /**
      * Byte-oriented straight-from-the-spec encryption, kept as the
-     * reference the T-table path is property-tested against.
+     * reference the fast paths are property-tested against.
      */
     AesBlock encryptBlockReference(const AesBlock &plaintext) const;
 
-    /** Decrypts one 16-byte block. */
+    /** Decrypts one 16-byte block (AES-NI when available). */
     AesBlock decryptBlock(const AesBlock &ciphertext) const;
+
+    /** Straight-from-the-spec decryption, the cross-check oracle. */
+    AesBlock decryptBlockReference(const AesBlock &ciphertext) const;
+
+    /** True when encrypt/decrypt dispatch to hardware AES-NI. */
+    static bool usesAesni();
 
   private:
     static constexpr int kRounds = 10;
@@ -56,7 +66,21 @@ class Aes128
     /** Expanded round keys: (kRounds + 1) x 16 bytes. */
     std::array<std::uint8_t, 16 * (kRounds + 1)> roundKeys_;
 
+    /** The same keys as big-endian column words for the T-table path. */
+    std::array<std::uint32_t, 4 * (kRounds + 1)> encKeys_;
+
+    /**
+     * InvMixColumns-transformed middle round keys (rounds 1..9) for the
+     * AES-NI equivalent-inverse-cipher decrypt; filled only when AES-NI
+     * is available.
+     */
+    std::array<std::uint8_t, 16 * (kRounds - 1)> imcKeys_;
+
     void expandKey(const AesKey &key);
+
+    AesBlock encryptBlockTables(const AesBlock &plaintext) const;
+    AesBlock encryptBlockAesni(const AesBlock &plaintext) const;
+    AesBlock decryptBlockAesni(const AesBlock &ciphertext) const;
 };
 
 } // namespace dewrite

@@ -6,10 +6,12 @@
 #include "sim/experiment.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <memory>
 
 #include "common/crc32.hh"
+#include "common/logging.hh"
 
 namespace dewrite {
 
@@ -27,9 +29,20 @@ std::uint64_t
 experimentEvents()
 {
     if (const char *env = std::getenv("DEWRITE_EVENTS")) {
-        const unsigned long long parsed = std::strtoull(env, nullptr, 10);
-        if (parsed > 0)
-            return parsed;
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long parsed = std::strtoull(env, &end, 10);
+        if (end == env || *end != '\0' || env[0] == '-') {
+            fatal("DEWRITE_EVENTS=\"%s\" is not a positive integer",
+                  env);
+        }
+        if (errno == ERANGE || parsed == 0 ||
+            parsed > kMaxExperimentEvents) {
+            fatal("DEWRITE_EVENTS=\"%s\" out of range (1..%llu)", env,
+                  static_cast<unsigned long long>(
+                      kMaxExperimentEvents));
+        }
+        return parsed;
     }
     return 120000;
 }

@@ -32,10 +32,15 @@ struct ExperimentResult
 /** Deterministic per-application trace seed. */
 std::uint64_t appSeed(const AppProfile &profile);
 
+/** Upper bound accepted from DEWRITE_EVENTS (a guard against typos
+ * requesting effectively-infinite runs, not a simulator limit). */
+constexpr std::uint64_t kMaxExperimentEvents = 1ULL << 40;
+
 /**
  * Number of trace events per experiment cell. Defaults to 120k;
  * override with the DEWRITE_EVENTS environment variable to trade
- * precision for speed.
+ * precision for speed. Malformed, zero, negative, or overflowing
+ * values are rejected with fatal() rather than silently misparsed.
  */
 std::uint64_t experimentEvents();
 

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <vector>
 
 #include "common/rng.hh"
 
@@ -57,6 +58,65 @@ TEST(Crc32Test, DeterministicAcrossCalls)
     Rng rng(12);
     const Line line = Line::random(rng);
     EXPECT_EQ(crc32(line), crc32(line));
+}
+
+TEST(Crc32Test, FastPathMatchesReferenceAtEverySizeAndAlignment)
+{
+    // The dispatcher switches strategies on size (bytewise tail,
+    // slice-by-8, PCLMULQDQ folding above 64 bytes) and the folded
+    // kernel loads 16-byte chunks from arbitrary offsets, so sweep
+    // both axes against the bit-for-bit reference.
+    Rng rng(13);
+    std::vector<std::uint8_t> buffer(600);
+    for (auto &byte : buffer)
+        byte = static_cast<std::uint8_t>(rng.next64());
+    for (std::size_t size = 0; size <= 520; ++size) {
+        for (std::size_t offset = 0; offset < 3; ++offset) {
+            const std::uint8_t *p = buffer.data() + offset;
+            EXPECT_EQ(crc32(p, size), crc32Reference(p, size))
+                << "size " << size << " offset " << offset;
+        }
+    }
+}
+
+TEST(Crc32cTest, StandardCheckValue)
+{
+    // The canonical CRC-32C check: crc32c("123456789") == 0xe3069283.
+    const char *msg = "123456789";
+    EXPECT_EQ(crc32c(reinterpret_cast<const std::uint8_t *>(msg),
+                     std::strlen(msg)),
+              0xe3069283u);
+}
+
+TEST(Crc32cTest, DiffersFromIeeePolynomial)
+{
+    const char *msg = "123456789";
+    EXPECT_NE(crc32c(reinterpret_cast<const std::uint8_t *>(msg),
+                     std::strlen(msg)),
+              crc32(reinterpret_cast<const std::uint8_t *>(msg),
+                    std::strlen(msg)));
+}
+
+TEST(Crc32cTest, HardwarePathMatchesReferenceAtEverySizeAndAlignment)
+{
+    Rng rng(14);
+    std::vector<std::uint8_t> buffer(600);
+    for (auto &byte : buffer)
+        byte = static_cast<std::uint8_t>(rng.next64());
+    for (std::size_t size = 0; size <= 520; ++size) {
+        for (std::size_t offset = 0; offset < 3; ++offset) {
+            const std::uint8_t *p = buffer.data() + offset;
+            EXPECT_EQ(crc32c(p, size), crc32cReference(p, size))
+                << "size " << size << " offset " << offset;
+        }
+    }
+}
+
+TEST(Crc32cTest, LineOverloadMatchesBufferOverload)
+{
+    Rng rng(15);
+    const Line line = Line::random(rng);
+    EXPECT_EQ(crc32c(line), crc32c(line.data(), kLineSize));
 }
 
 } // namespace

@@ -74,6 +74,34 @@ TEST(Aes128Test, TTableMatchesReferenceImplementation)
     }
 }
 
+TEST(Aes128Test, DispatchedDecryptMatchesReferenceImplementation)
+{
+    // Exercises the AES-NI equivalent-inverse-cipher path (when the
+    // host has it) against the portable InvMixColumns decrypt across
+    // random keys, since FIPS-197 only pins one decrypt vector.
+    Rng rng(24);
+    for (int trial = 0; trial < 200; ++trial) {
+        AesKey key;
+        for (auto &byte : key)
+            byte = static_cast<std::uint8_t>(rng.next64());
+        const Aes128 aes(key);
+        AesBlock ct;
+        for (auto &byte : ct)
+            byte = static_cast<std::uint8_t>(rng.next64());
+        EXPECT_EQ(aes.decryptBlock(ct), aes.decryptBlockReference(ct));
+    }
+}
+
+TEST(Aes128Test, Fips197DecryptVector)
+{
+    const Aes128 aes(blockFromHex("000102030405060708090a0b0c0d0e0f"));
+    const AesBlock ct = blockFromHex("69c4e0d86a7b0430d8cdb78070b4c55a");
+    const AesBlock expected =
+        blockFromHex("00112233445566778899aabbccddeeff");
+    EXPECT_EQ(aes.decryptBlock(ct), expected);
+    EXPECT_EQ(aes.decryptBlockReference(ct), expected);
+}
+
 TEST(Aes128Test, DifferentKeysDifferentCiphertext)
 {
     const AesBlock pt{};

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * DEWRITE_EVENTS parsing tests.
+ *
+ * experimentEvents() sizes every experiment in the suite, so a typo'd
+ * override must die loudly instead of silently truncating (strtoull
+ * happily parses "12k" as 12) or wrapping (negative input).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/experiment.hh"
+
+namespace dewrite {
+namespace {
+
+/** Scoped environment override (unset restores at destruction). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        ::setenv(name, value, 1);
+    }
+    ~ScopedEnv() { ::unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+TEST(ExperimentEventsTest, DefaultsWhenUnset)
+{
+    ::unsetenv("DEWRITE_EVENTS");
+    EXPECT_EQ(experimentEvents(), 120000u);
+}
+
+TEST(ExperimentEventsTest, HonorsValidOverride)
+{
+    ScopedEnv env("DEWRITE_EVENTS", "5000");
+    EXPECT_EQ(experimentEvents(), 5000u);
+}
+
+TEST(ExperimentEventsTest, AcceptsTheMaximum)
+{
+    const std::string max =
+        std::to_string(static_cast<unsigned long long>(
+            kMaxExperimentEvents));
+    ScopedEnv env("DEWRITE_EVENTS", max.c_str());
+    EXPECT_EQ(experimentEvents(), kMaxExperimentEvents);
+}
+
+TEST(ExperimentEventsDeathTest, RejectsMalformedValue)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ScopedEnv env("DEWRITE_EVENTS", "lots");
+    EXPECT_EXIT(experimentEvents(), ::testing::ExitedWithCode(1),
+                "DEWRITE_EVENTS");
+}
+
+TEST(ExperimentEventsDeathTest, RejectsTrailingGarbage)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ScopedEnv env("DEWRITE_EVENTS", "12k");
+    EXPECT_EXIT(experimentEvents(), ::testing::ExitedWithCode(1),
+                "DEWRITE_EVENTS");
+}
+
+TEST(ExperimentEventsDeathTest, RejectsEmptyValue)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ScopedEnv env("DEWRITE_EVENTS", "");
+    EXPECT_EXIT(experimentEvents(), ::testing::ExitedWithCode(1),
+                "DEWRITE_EVENTS");
+}
+
+TEST(ExperimentEventsDeathTest, RejectsZero)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ScopedEnv env("DEWRITE_EVENTS", "0");
+    EXPECT_EXIT(experimentEvents(), ::testing::ExitedWithCode(1),
+                "DEWRITE_EVENTS");
+}
+
+TEST(ExperimentEventsDeathTest, RejectsNegative)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ScopedEnv env("DEWRITE_EVENTS", "-5");
+    EXPECT_EXIT(experimentEvents(), ::testing::ExitedWithCode(1),
+                "DEWRITE_EVENTS");
+}
+
+TEST(ExperimentEventsDeathTest, RejectsOverflow)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    // 2^64 overflows strtoull (ERANGE).
+    ScopedEnv env("DEWRITE_EVENTS", "18446744073709551616");
+    EXPECT_EXIT(experimentEvents(), ::testing::ExitedWithCode(1),
+                "DEWRITE_EVENTS");
+}
+
+TEST(ExperimentEventsDeathTest, RejectsAboveTheMaximum)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    const std::string above =
+        std::to_string(static_cast<unsigned long long>(
+                           kMaxExperimentEvents) +
+                       1);
+    ScopedEnv env("DEWRITE_EVENTS", above.c_str());
+    EXPECT_EXIT(experimentEvents(), ::testing::ExitedWithCode(1),
+                "DEWRITE_EVENTS");
+}
+
+} // namespace
+} // namespace dewrite

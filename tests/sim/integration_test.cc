@@ -2,11 +2,19 @@
  * @file
  * Cross-module integration tests: the paper's headline effects must
  * emerge from the assembled system (directions, not exact numbers).
+ *
+ * Every (app, scheme) cell the assertions below consult is simulated
+ * exactly once, up front, through the parallel experiment runner —
+ * both to keep the suite fast on multi-core hosts and to exercise the
+ * runner itself on the integration workloads.
  */
 
 #include <gtest/gtest.h>
 
-#include "sim/experiment.hh"
+#include <map>
+#include <string>
+
+#include "sim/parallel_runner.hh"
 #include "trace/app_catalog.hh"
 #include "trace/trace_gen.hh"
 #include "trace/workload_stats.hh"
@@ -24,64 +32,124 @@ smallConfig()
 
 constexpr std::uint64_t kEvents = 8000;
 
-RunResult
-simulate(const char *app, const SchemeOptions &scheme)
+SchemeOptions
+shredderScheme()
 {
-    return runApp(appByName(app), smallConfig(), scheme, kEvents, 99).run;
+    SchemeOptions scheme = secureBaselineScheme();
+    scheme.baseline.shredZeroLines = true;
+    return scheme;
 }
 
-TEST(IntegrationTest, DeWriteEliminatesRoughlyTheDupFraction)
+/**
+ * Precomputes the distinct simulation cells shared by the tests.
+ *
+ * gtest runs tests serially, so without the cache the lbm baseline
+ * (for example) would be re-simulated by three separate tests.
+ */
+class IntegrationTest : public ::testing::Test
 {
-    const RunResult result =
-        simulate("lbm", dewriteScheme(DedupMode::Predicted));
+  protected:
+    struct CellSpec
+    {
+        const char *app;
+        const char *scheme_name;
+        SchemeOptions scheme;
+    };
+
+    static void
+    SetUpTestSuite()
+    {
+        if (cells_ != nullptr)
+            return;
+        const std::vector<CellSpec> specs = {
+            { "lbm", "baseline", secureBaselineScheme() },
+            { "lbm", "predicted", dewriteScheme(DedupMode::Predicted) },
+            { "cactusADM", "baseline", secureBaselineScheme() },
+            { "cactusADM", "predicted",
+              dewriteScheme(DedupMode::Predicted) },
+            { "vips", "baseline", secureBaselineScheme() },
+            { "vips", "predicted", dewriteScheme(DedupMode::Predicted) },
+            { "gcc", "direct", dewriteScheme(DedupMode::Direct) },
+            { "gcc", "parallel", dewriteScheme(DedupMode::Parallel) },
+            { "gcc", "predicted", dewriteScheme(DedupMode::Predicted) },
+            { "lbm", "direct", dewriteScheme(DedupMode::Direct) },
+            { "lbm", "parallel", dewriteScheme(DedupMode::Parallel) },
+            { "sjeng", "baseline", secureBaselineScheme() },
+            { "sjeng", "shredder", shredderScheme() },
+            { "sjeng", "predicted", dewriteScheme(DedupMode::Predicted) },
+            { "zeusmp", "shredder", shredderScheme() },
+            { "zeusmp", "predicted",
+              dewriteScheme(DedupMode::Predicted) },
+        };
+        std::vector<RunResult> results(specs.size());
+        parallelFor(specs.size(), [&](std::size_t i) {
+            results[i] = runApp(appByName(specs[i].app), smallConfig(),
+                                specs[i].scheme, kEvents, 99)
+                             .run;
+        });
+        cells_ = new std::map<std::string, RunResult>;
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            (*cells_)[std::string(specs[i].app) + "/" +
+                      specs[i].scheme_name] = results[i];
+    }
+
+    static const RunResult &
+    cell(const std::string &app, const std::string &scheme)
+    {
+        return cells_->at(app + "/" + scheme);
+    }
+
+  private:
+    static std::map<std::string, RunResult> *cells_;
+};
+
+std::map<std::string, RunResult> *IntegrationTest::cells_ = nullptr;
+
+TEST_F(IntegrationTest, DeWriteEliminatesRoughlyTheDupFraction)
+{
+    const RunResult &result = cell("lbm", "predicted");
     const double eliminated = static_cast<double>(result.writesEliminated) /
                               static_cast<double>(result.writes);
     EXPECT_NEAR(eliminated, appByName("lbm").dupTarget, 0.1);
 }
 
-TEST(IntegrationTest, WriteSpeedupOnDupHeavyApp)
+TEST_F(IntegrationTest, WriteSpeedupOnDupHeavyApp)
 {
-    const RunResult baseline = simulate("lbm", secureBaselineScheme());
-    const RunResult dewrite =
-        simulate("lbm", dewriteScheme(DedupMode::Predicted));
+    const RunResult &baseline = cell("lbm", "baseline");
+    const RunResult &dewrite = cell("lbm", "predicted");
     // Figure 14's direction: several-fold write speedup on a >90%
     // duplicate application.
     EXPECT_GT(baseline.avgWriteLatencyNs / dewrite.avgWriteLatencyNs,
               2.0);
 }
 
-TEST(IntegrationTest, ReadSpeedupFromRemovedBankContention)
+TEST_F(IntegrationTest, ReadSpeedupFromRemovedBankContention)
 {
-    const RunResult baseline = simulate("lbm", secureBaselineScheme());
-    const RunResult dewrite =
-        simulate("lbm", dewriteScheme(DedupMode::Predicted));
+    const RunResult &baseline = cell("lbm", "baseline");
+    const RunResult &dewrite = cell("lbm", "predicted");
     // Figure 16's direction: reads also win because eliminated writes
     // stop blocking banks.
     EXPECT_GT(baseline.avgReadLatencyNs, dewrite.avgReadLatencyNs);
 }
 
-TEST(IntegrationTest, IpcImprovesOnDupHeavyApp)
+TEST_F(IntegrationTest, IpcImprovesOnDupHeavyApp)
 {
-    const RunResult baseline = simulate("cactusADM",
-                                        secureBaselineScheme());
-    const RunResult dewrite =
-        simulate("cactusADM", dewriteScheme(DedupMode::Predicted));
+    const RunResult &baseline = cell("cactusADM", "baseline");
+    const RunResult &dewrite = cell("cactusADM", "predicted");
     EXPECT_GT(dewrite.ipc, baseline.ipc * 1.2);
 }
 
-TEST(IntegrationTest, EnergyDropsOnDupHeavyApp)
+TEST_F(IntegrationTest, EnergyDropsOnDupHeavyApp)
 {
-    const RunResult baseline = simulate("lbm", secureBaselineScheme());
-    const RunResult dewrite =
-        simulate("lbm", dewriteScheme(DedupMode::Predicted));
+    const RunResult &baseline = cell("lbm", "baseline");
+    const RunResult &dewrite = cell("lbm", "predicted");
     EXPECT_LT(dewrite.totalEnergy, baseline.totalEnergy);
 }
 
-TEST(IntegrationTest, LowDupAppGainsAreModest)
+TEST_F(IntegrationTest, LowDupAppGainsAreModest)
 {
-    const RunResult baseline = simulate("vips", secureBaselineScheme());
-    const RunResult dewrite =
-        simulate("vips", dewriteScheme(DedupMode::Predicted));
+    const RunResult &baseline = cell("vips", "baseline");
+    const RunResult &dewrite = cell("vips", "predicted");
     const double speedup =
         baseline.avgWriteLatencyNs / dewrite.avgWriteLatencyNs;
     // vips is the paper's low end (18.6% duplicates): some gain, but
@@ -90,15 +158,12 @@ TEST(IntegrationTest, LowDupAppGainsAreModest)
     EXPECT_LT(speedup, 2.5);
 }
 
-TEST(IntegrationTest, ModeLatencyOrdering)
+TEST_F(IntegrationTest, ModeLatencyOrdering)
 {
     // Figure 15: direct >= DeWrite ~= parallel in write latency.
-    const RunResult direct =
-        simulate("gcc", dewriteScheme(DedupMode::Direct));
-    const RunResult predicted =
-        simulate("gcc", dewriteScheme(DedupMode::Predicted));
-    const RunResult parallel =
-        simulate("gcc", dewriteScheme(DedupMode::Parallel));
+    const RunResult &direct = cell("gcc", "direct");
+    const RunResult &predicted = cell("gcc", "predicted");
+    const RunResult &parallel = cell("gcc", "parallel");
     EXPECT_GE(direct.avgWriteLatencyNs, predicted.avgWriteLatencyNs);
     EXPECT_GE(direct.avgWriteLatencyNs, parallel.avgWriteLatencyNs);
     // "Nearly the same" as the parallel way (the gap is the serial
@@ -107,22 +172,19 @@ TEST(IntegrationTest, ModeLatencyOrdering)
               1.15 * parallel.avgWriteLatencyNs);
 }
 
-TEST(IntegrationTest, ModeEnergyOrdering)
+TEST_F(IntegrationTest, ModeEnergyOrdering)
 {
     // Figure 20: parallel >= DeWrite ~= direct in energy.
-    const RunResult direct =
-        simulate("lbm", dewriteScheme(DedupMode::Direct));
-    const RunResult predicted =
-        simulate("lbm", dewriteScheme(DedupMode::Predicted));
-    const RunResult parallel =
-        simulate("lbm", dewriteScheme(DedupMode::Parallel));
+    const RunResult &direct = cell("lbm", "direct");
+    const RunResult &predicted = cell("lbm", "predicted");
+    const RunResult &parallel = cell("lbm", "parallel");
     EXPECT_GE(parallel.totalEnergy, predicted.totalEnergy);
     EXPECT_LE(
         static_cast<double>(predicted.totalEnergy),
         1.15 * static_cast<double>(direct.totalEnergy));
 }
 
-TEST(IntegrationTest, WorstCasePenaltyIsSmall)
+TEST_F(IntegrationTest, WorstCasePenaltyIsSmall)
 {
     // Figure 18: on an all-unique workload DeWrite stays within a few
     // percent of the secure baseline.
@@ -140,33 +202,28 @@ TEST(IntegrationTest, WorstCasePenaltyIsSmall)
     EXPECT_GT(dw.ipc, base.ipc * 0.9);
 }
 
-TEST(IntegrationTest, ShredderCapturesOnlyZeroLines)
+TEST_F(IntegrationTest, ShredderCapturesOnlyZeroLines)
 {
-    SchemeOptions shredder = secureBaselineScheme();
-    shredder.baseline.shredZeroLines = true;
-
     // On sjeng — the one zero-dominated app (Figure 2) — shredding is
     // competitive with full dedup.
-    const RunResult shred_sjeng = simulate("sjeng", shredder);
-    const RunResult dewrite_sjeng =
-        simulate("sjeng", dewriteScheme(DedupMode::Predicted));
+    const RunResult &shred_sjeng = cell("sjeng", "shredder");
+    const RunResult &dewrite_sjeng = cell("sjeng", "predicted");
     EXPECT_GT(shred_sjeng.writesEliminated, 0u);
     EXPECT_GT(dewrite_sjeng.writesEliminated,
               shred_sjeng.writesEliminated * 8 / 10);
 
     // On a typical app, most duplicates are non-zero and dedup clearly
     // wins (the paper's 58% vs 16% average comparison).
-    const RunResult shred_zeusmp = simulate("zeusmp", shredder);
-    const RunResult dewrite_zeusmp =
-        simulate("zeusmp", dewriteScheme(DedupMode::Predicted));
+    const RunResult &shred_zeusmp = cell("zeusmp", "shredder");
+    const RunResult &dewrite_zeusmp = cell("zeusmp", "predicted");
     EXPECT_GT(dewrite_zeusmp.writesEliminated,
               2 * shred_zeusmp.writesEliminated);
 
-    const RunResult baseline = simulate("sjeng", secureBaselineScheme());
+    const RunResult &baseline = cell("sjeng", "baseline");
     EXPECT_EQ(baseline.writesEliminated, 0u);
 }
 
-TEST(IntegrationTest, MeasuredDupMatchesEngineElimination)
+TEST_F(IntegrationTest, MeasuredDupMatchesEngineElimination)
 {
     // The dedup engine should find nearly all duplicates the offline
     // scanner counts (the small gap is PNA + saturation, Figure 12).
