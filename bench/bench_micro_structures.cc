@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Micro-benchmarks of the flat hot-path containers vs the node-based
+ * std:: equivalents they replaced.
+ *
+ * Three workloads mirror the simulator's access patterns:
+ *
+ *  - line store: write-then-read of 256 B lines keyed by LineAddr
+ *    (NvmDevice::store_, TraceGen's image) — DenseLineStore vs
+ *    std::unordered_map<LineAddr, Line>.
+ *  - metadata map: mixed insert/find/erase of 8 B values under
+ *    Zipf-ish reuse (engine counters, hash store) — FlatMap vs
+ *    std::unordered_map<uint64_t, uint64_t>.
+ *  - per-line counters: increment-heavy direct indexing
+ *    (WearTracker, SecureBaseline counters) — PagedArray vs
+ *    std::unordered_map<uint64_t, uint64_t>.
+ *
+ * Each workload runs in epochs that construct a fresh store, drive the
+ * op mix, and destroy it — the lifecycle the experiment runner imposes
+ * (every matrix cell builds its own System), so per-node allocation
+ * and teardown are measured, not amortized away.
+ *
+ * Self-timed (steady_clock) rather than google-benchmark so the tool
+ * can run as a CI smoke check: `--smoke` shrinks the working set and
+ * iteration count to finish in well under a second while still
+ * touching every code path and verifying the two implementations
+ * agree on the final state.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+
+#include "common/dense_line_store.hh"
+#include "common/flat_map.hh"
+#include "common/line.hh"
+#include "common/paged_array.hh"
+#include "common/rng.hh"
+#include "common/table_printer.hh"
+
+using namespace dewrite;
+
+namespace {
+
+struct BenchParams
+{
+    std::uint64_t epochs = 8;
+    std::uint64_t lineOps = 250'000;
+    std::uint64_t lineAddrs = 1 << 16;
+    std::uint64_t mapOps = 500'000;
+    std::uint64_t mapKeys = 1 << 16;
+    std::uint64_t counterOps = 1'000'000;
+    std::uint64_t counterAddrs = 1 << 16;
+};
+
+double
+opsPerSec(std::uint64_t ops, double seconds)
+{
+    return seconds > 0 ? static_cast<double>(ops) / seconds : 0.0;
+}
+
+template <typename Fn>
+double
+timeIt(Fn &&fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::string
+formatOps(double ops)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1fM", ops / 1e6);
+    return buf;
+}
+
+std::string
+formatRatio(double ratio)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2fx", ratio);
+    return buf;
+}
+
+/** Write-then-read line traffic; returns a content checksum. */
+template <typename MakeStore, typename Write, typename Read>
+std::uint64_t
+runLineStore(const BenchParams &p, MakeStore &&makeStore, Write &&write,
+             Read &&read)
+{
+    std::uint64_t check = 0;
+    for (std::uint64_t epoch = 0; epoch < p.epochs; ++epoch) {
+        auto store = makeStore();
+        Rng rng(42 + epoch);
+        Line content;
+        for (std::uint64_t i = 0; i < p.lineOps; ++i) {
+            const LineAddr addr = rng.nextBelow(p.lineAddrs);
+            if (rng.chance(0.6)) {
+                content.setWord64(0, i);
+                content.setWord64(1, addr);
+                write(store, addr, content);
+            } else {
+                check += read(store, addr);
+            }
+        }
+    }
+    return check;
+}
+
+/** Mixed insert/find/erase over a bounded key space; returns a sum. */
+template <typename MakeMap, typename Bump, typename Find, typename Erase>
+std::uint64_t
+runMetadataMap(const BenchParams &p, MakeMap &&makeMap, Bump &&bump,
+               Find &&find, Erase &&erase)
+{
+    std::uint64_t check = 0;
+    for (std::uint64_t epoch = 0; epoch < p.epochs; ++epoch) {
+        auto map = makeMap();
+        Rng rng(43 + epoch);
+        for (std::uint64_t i = 0; i < p.mapOps; ++i) {
+            const std::uint64_t key = rng.nextBelow(p.mapKeys);
+            const std::uint64_t op = rng.nextBelow(10);
+            if (op < 6)
+                bump(map, key);
+            else if (op < 9)
+                check += find(map, key);
+            else
+                erase(map, key);
+        }
+        check += map.size();
+    }
+    return check;
+}
+
+/** Increment-heavy per-line counters; returns the final total. */
+template <typename MakeCounters, typename Inc, typename Get>
+std::uint64_t
+runCounters(const BenchParams &p, MakeCounters &&makeCounters, Inc &&inc,
+            Get &&get)
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t epoch = 0; epoch < p.epochs; ++epoch) {
+        auto counters = makeCounters();
+        Rng rng(44 + epoch);
+        for (std::uint64_t i = 0; i < p.counterOps; ++i)
+            inc(counters, rng.nextBelow(p.counterAddrs));
+        for (std::uint64_t addr = 0; addr < p.counterAddrs; ++addr)
+            total += get(counters, addr);
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+    BenchParams p;
+    if (smoke) {
+        p.lineOps = 50'000;
+        p.lineAddrs = 1 << 10;
+        p.mapOps = 100'000;
+        p.mapKeys = 1 << 10;
+        p.counterOps = 200'000;
+        p.counterAddrs = 1 << 10;
+    }
+
+    std::printf("Flat hot-path containers vs node-based std:: maps%s\n\n",
+                smoke ? " (smoke)" : "");
+
+    // --- 256 B line store ------------------------------------------------
+    std::uint64_t stdLineCheck = 0, denseLineCheck = 0;
+    const double stdLineSecs = timeIt([&] {
+        stdLineCheck = runLineStore(
+            p, [] { return std::unordered_map<LineAddr, Line>(); },
+            [](auto &s, LineAddr a, const Line &l) { s[a] = l; },
+            [](const auto &s, LineAddr a) {
+                const auto it = s.find(a);
+                return it == s.end() ? 0 : it->second.word64(0);
+            });
+    });
+    const double denseLineSecs = timeIt([&] {
+        denseLineCheck = runLineStore(
+            p, [&] { return DenseLineStore(p.lineAddrs); },
+            [](auto &s, LineAddr a, const Line &l) {
+                s.refForWrite(a) = l;
+            },
+            [](const auto &s, LineAddr a) {
+                const Line *line = s.find(a);
+                return line ? line->word64(0) : 0;
+            });
+    });
+
+    // --- metadata map ----------------------------------------------------
+    std::uint64_t stdMapCheck = 0, flatMapCheck = 0;
+    const double stdMapSecs = timeIt([&] {
+        stdMapCheck = runMetadataMap(
+            p, [] { return std::unordered_map<std::uint64_t,
+                                              std::uint64_t>(); },
+            [](auto &m, std::uint64_t k) { ++m[k]; },
+            [](const auto &m, std::uint64_t k) {
+                const auto it = m.find(k);
+                return it == m.end() ? 0 : it->second;
+            },
+            [](auto &m, std::uint64_t k) { m.erase(k); });
+    });
+    const double flatMapSecs = timeIt([&] {
+        flatMapCheck = runMetadataMap(
+            p, [] { return FlatMap<std::uint64_t, std::uint64_t>(); },
+            [](auto &m, std::uint64_t k) { ++m[k]; },
+            [](const auto &m, std::uint64_t k) {
+                const std::uint64_t *v = m.find(k);
+                return v ? *v : 0;
+            },
+            [](auto &m, std::uint64_t k) { m.erase(k); });
+    });
+
+    // --- per-line counters -----------------------------------------------
+    std::uint64_t stdCounterCheck = 0, pagedCounterCheck = 0;
+    const double stdCounterSecs = timeIt([&] {
+        stdCounterCheck = runCounters(
+            p, [] { return std::unordered_map<std::uint64_t,
+                                              std::uint64_t>(); },
+            [](auto &c, std::uint64_t a) { ++c[a]; },
+            [](const auto &c, std::uint64_t a) {
+                const auto it = c.find(a);
+                return it == c.end() ? 0 : it->second;
+            });
+    });
+    const double pagedCounterSecs = timeIt([&] {
+        pagedCounterCheck = runCounters(
+            p, [&] { return PagedArray<std::uint64_t>(p.counterAddrs); },
+            [](auto &c, std::uint64_t a) { ++c.ref(a); },
+            [](const auto &c, std::uint64_t a) { return c.get(a); });
+    });
+
+    // Identical op sequences must leave identical observable state; a
+    // mismatch means one implementation is wrong, not slow.
+    bool ok = true;
+    if (stdLineCheck != denseLineCheck) {
+        std::fprintf(stderr, "FAIL: line-store checksums differ\n");
+        ok = false;
+    }
+    if (stdMapCheck != flatMapCheck) {
+        std::fprintf(stderr, "FAIL: metadata-map state differs\n");
+        ok = false;
+    }
+    if (stdCounterCheck != pagedCounterCheck) {
+        std::fprintf(stderr, "FAIL: counter totals differ\n");
+        ok = false;
+    }
+
+    const std::uint64_t lineTotal = p.epochs * p.lineOps;
+    const std::uint64_t mapTotal = p.epochs * p.mapOps;
+    const std::uint64_t counterTotal = p.epochs * p.counterOps;
+    TablePrinter table({ "workload", "std (ops/s)", "flat (ops/s)",
+                         "speedup" });
+    table.addRow({ "line store (DenseLineStore)",
+                   formatOps(opsPerSec(lineTotal, stdLineSecs)),
+                   formatOps(opsPerSec(lineTotal, denseLineSecs)),
+                   formatRatio(stdLineSecs / denseLineSecs) });
+    table.addRow({ "metadata map (FlatMap)",
+                   formatOps(opsPerSec(mapTotal, stdMapSecs)),
+                   formatOps(opsPerSec(mapTotal, flatMapSecs)),
+                   formatRatio(stdMapSecs / flatMapSecs) });
+    table.addRow({ "counters (PagedArray)",
+                   formatOps(opsPerSec(counterTotal, stdCounterSecs)),
+                   formatOps(opsPerSec(counterTotal, pagedCounterSecs)),
+                   formatRatio(stdCounterSecs / pagedCounterSecs) });
+    table.print();
+
+    if (!ok)
+        return 1;
+    std::printf("\n%s\n", smoke ? "smoke OK" : "done");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * End-to-end simulation throughput of the experiment matrix.
+ *
+ * Runs the full Figure 12 workload matrix (every catalog app under the
+ * secure baseline and all three DeWrite modes) and reports host-side
+ * events per second — the number the flat-container and crypto-kernel
+ * work optimizes. Results go to stdout as a table and to
+ * BENCH_throughput.json (in the working directory) for tracking across
+ * commits.
+ *
+ * Events per cell come from DEWRITE_EVENTS (default 120000); pass
+ * --quick for a 20x shorter run with the same shape.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.hh"
+#include "sim/parallel_runner.hh"
+#include "trace/app_catalog.hh"
+
+using namespace dewrite;
+
+namespace {
+
+struct SchemeTiming
+{
+    std::string name;
+    std::size_t cells = 0;
+    std::uint64_t events = 0;
+    double seconds = 0.0;
+
+    double eventsPerSec() const
+    {
+        return seconds > 0 ? static_cast<double>(events) / seconds : 0.0;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    const std::uint64_t events =
+        quick ? experimentEvents() / 20 : experimentEvents();
+
+    SystemConfig config;
+    const std::vector<AppProfile> &apps = appCatalog();
+    const std::vector<std::pair<std::string, SchemeOptions>> schemes = {
+        { "secure-baseline", secureBaselineScheme() },
+        { "dewrite-direct", dewriteScheme(DedupMode::Direct) },
+        { "dewrite-parallel", dewriteScheme(DedupMode::Parallel) },
+        { "dewrite-predicted", dewriteScheme(DedupMode::Predicted) },
+    };
+
+    std::printf("End-to-end throughput: %zu apps x %zu schemes, "
+                "%llu events/cell\n\n",
+                apps.size(), schemes.size(),
+                static_cast<unsigned long long>(events));
+
+    std::vector<SchemeTiming> timings;
+    std::uint64_t total_events = 0;
+    double total_seconds = 0.0;
+    for (const auto &[name, scheme] : schemes) {
+        SchemeTiming timing;
+        timing.name = name;
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto cells = runMatrix(apps, { scheme }, config, events, 0);
+        const auto t1 = std::chrono::steady_clock::now();
+        timing.seconds = std::chrono::duration<double>(t1 - t0).count();
+        timing.cells = cells.size();
+        for (const auto &cell : cells)
+            timing.events += cell.run.events;
+        total_events += timing.events;
+        total_seconds += timing.seconds;
+        timings.push_back(timing);
+    }
+
+    TablePrinter table({ "scheme", "cells", "events", "wall (s)",
+                         "events/sec" });
+    for (const SchemeTiming &t : timings) {
+        table.addRow({ t.name, std::to_string(t.cells),
+                       std::to_string(t.events),
+                       TablePrinter::num(t.seconds),
+                       TablePrinter::num(t.eventsPerSec(), 0) });
+    }
+    const double overall =
+        total_seconds > 0 ? static_cast<double>(total_events) /
+                                total_seconds
+                          : 0.0;
+    table.addRow({ "TOTAL", "-", std::to_string(total_events),
+                   TablePrinter::num(total_seconds),
+                   TablePrinter::num(overall, 0) });
+    table.print();
+
+    std::FILE *json = std::fopen("BENCH_throughput.json", "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write BENCH_throughput.json\n");
+        return 1;
+    }
+    std::fprintf(json, "{\n  \"events_per_cell\": %llu,\n",
+                 static_cast<unsigned long long>(events));
+    std::fprintf(json, "  \"schemes\": [\n");
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+        const SchemeTiming &t = timings[i];
+        std::fprintf(json,
+                     "    {\"scheme\": \"%s\", \"cells\": %zu, "
+                     "\"events\": %llu, \"wall_seconds\": %.6f, "
+                     "\"events_per_sec\": %.0f}%s\n",
+                     t.name.c_str(), t.cells,
+                     static_cast<unsigned long long>(t.events), t.seconds,
+                     t.eventsPerSec(), i + 1 < timings.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json,
+                 "  \"total_events\": %llu,\n  \"total_wall_seconds\": "
+                 "%.6f,\n  \"events_per_sec\": %.0f\n}\n",
+                 static_cast<unsigned long long>(total_events),
+                 total_seconds, overall);
+    std::fclose(json);
+    std::printf("\nwrote BENCH_throughput.json\n");
+    return 0;
+}

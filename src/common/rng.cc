@@ -90,6 +90,30 @@ Rng::nextExponential(double mean)
     return static_cast<std::uint64_t>(sample);
 }
 
+const Rng::ZipfTerms &
+Rng::zipfTerms(std::uint64_t n, double theta)
+{
+    for (const ZipfTerms &entry : zipf_) {
+        if (entry.valid && entry.n == n && entry.theta == theta)
+            return entry;
+    }
+    ZipfTerms &entry = zipf_[zipfVictim_];
+    zipfVictim_ ^= 1;
+    entry.n = n;
+    entry.theta = theta;
+    entry.thetaOne = std::abs(theta - 1.0) < 1e-9;
+    if (entry.thetaOne) {
+        entry.top = std::log(static_cast<double>(n) + 1.0);
+        entry.invExp = 0.0;
+    } else {
+        const double one_minus = 1.0 - theta;
+        entry.top = std::pow(static_cast<double>(n) + 1.0, one_minus);
+        entry.invExp = 1.0 / one_minus;
+    }
+    entry.valid = true;
+    return entry;
+}
+
 std::uint64_t
 Rng::nextZipf(std::uint64_t n, double theta)
 {
@@ -99,13 +123,12 @@ Rng::nextZipf(std::uint64_t n, double theta)
     // the discrete Zipf CDF, more than adequate for shaping content
     // popularity in synthetic workloads.
     const double u = nextDouble();
+    const ZipfTerms &terms = zipfTerms(n, theta);
     double x;
-    if (std::abs(theta - 1.0) < 1e-9) {
-        x = std::exp(u * std::log(static_cast<double>(n) + 1.0));
+    if (terms.thetaOne) {
+        x = std::exp(u * terms.top);
     } else {
-        const double one_minus = 1.0 - theta;
-        const double top = std::pow(static_cast<double>(n) + 1.0, one_minus);
-        x = std::pow(u * (top - 1.0) + 1.0, 1.0 / one_minus);
+        x = std::pow(u * (terms.top - 1.0) + 1.0, terms.invExp);
     }
     auto rank = static_cast<std::uint64_t>(x) - 1;
     return rank >= n ? n - 1 : rank;

@@ -55,7 +55,29 @@ class Rng
     std::uint64_t nextZipf(std::uint64_t n, double theta);
 
   private:
+    /**
+     * Memo for nextZipf's (n, theta)-dependent libm terms. Workload
+     * generators draw many samples before n changes, and alternate
+     * between at most two theta values, so a two-entry cache removes
+     * one pow()/log() from nearly every draw. Pure memoization: the
+     * cached values are the same doubles the direct computation yields,
+     * so the sampled sequence is bit-identical.
+     */
+    struct ZipfTerms
+    {
+        std::uint64_t n = 0;
+        double theta = 0.0;
+        double top = 0.0;    //!< pow(n+1, 1-theta), or log(n+1) at theta=1.
+        double invExp = 0.0; //!< 1 / (1 - theta); unused at theta=1.
+        bool thetaOne = false;
+        bool valid = false;
+    };
+
+    const ZipfTerms &zipfTerms(std::uint64_t n, double theta);
+
     std::uint64_t state_[4];
+    ZipfTerms zipf_[2];
+    unsigned zipfVictim_ = 0;
 };
 
 } // namespace dewrite

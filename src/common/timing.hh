@@ -15,6 +15,8 @@
 #ifndef DEWRITE_COMMON_TIMING_HH
 #define DEWRITE_COMMON_TIMING_HH
 
+#include <algorithm>
+
 #include "common/types.hh"
 
 namespace dewrite {
@@ -195,6 +197,23 @@ struct MemoryConfig
     /** Metadata durability policy (Section V). */
     MetadataWritePolicy metadataWritePolicy =
         MetadataWritePolicy::LazyBattery;
+
+    /**
+     * Expected distinct lines a workload touches, used purely as a
+     * reserve() sizing hint so the hashed hot-path tables (hash store,
+     * counter overflow, trace image) never rehash mid-run. Behaviour is
+     * identical whatever the value; 0 derives a default from numLines.
+     */
+    std::uint64_t workingSetHintLines = 0;
+
+    /** The sizing hint, with the numLines-derived default applied. */
+    std::uint64_t
+    workingSetHint() const
+    {
+        return workingSetHintLines ? workingSetHintLines
+                                   : std::max<std::uint64_t>(
+                                         numLines / 16, 4096);
+    }
 };
 
 /** Bundle of every model parameter, passed to controllers and devices. */

@@ -59,6 +59,13 @@ class BitLevelReducer
                                 std::uint64_t counter) = 0;
 
     virtual BitTechnique technique() const = 0;
+
+    /**
+     * Sizing hint: expected distinct slots the reducer will track,
+     * passed down at controller construction so per-slot state never
+     * rehashes mid-run. Stateless reducers ignore it.
+     */
+    virtual void reserveSlots(std::uint64_t /*expected*/) {}
 };
 
 /**

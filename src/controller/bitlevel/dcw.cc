@@ -14,8 +14,8 @@ const Line kZeroLine;
 const Line &
 CipherImageReducer::image(LineAddr slot) const
 {
-    auto it = images_.find(slot);
-    return it == images_.end() ? kZeroLine : it->second;
+    const Line *stored = images_.find(slot);
+    return stored ? *stored : kZeroLine; // Unwritten cells read as zero.
 }
 
 std::size_t

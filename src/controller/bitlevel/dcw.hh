@@ -11,8 +11,7 @@
 #ifndef DEWRITE_CONTROLLER_BITLEVEL_DCW_HH
 #define DEWRITE_CONTROLLER_BITLEVEL_DCW_HH
 
-#include <unordered_map>
-
+#include "common/dense_line_store.hh"
 #include "controller/bitlevel/bitflip.hh"
 #include "crypto/counter_mode.hh"
 
@@ -21,18 +20,28 @@ namespace dewrite {
 /** Shared cell-image tracking for the ciphertext-image reducers. */
 class CipherImageReducer : public BitLevelReducer
 {
+  public:
+    void reserveSlots(std::uint64_t expected) override
+    {
+        images_.reserve(expected);
+    }
+
   protected:
     explicit CipherImageReducer(const CounterModeEngine &cme) : cme_(cme) {}
 
     /** Cell image of @p slot (zeros if never written — fresh PCM). */
     const Line &image(LineAddr slot) const;
 
-    void setImage(LineAddr slot, const Line &image) { images_[slot] = image; }
+    void
+    setImage(LineAddr slot, const Line &image)
+    {
+        images_.refForWrite(slot) = image;
+    }
 
     const CounterModeEngine &cme_;
 
   private:
-    std::unordered_map<LineAddr, Line> images_;
+    DenseLineStore images_;
 };
 
 /** Baseline: every cell of the line is programmed on every write. */

@@ -13,7 +13,7 @@ std::size_t
 DeuceReducer::onWrite(LineAddr slot, const Line &new_pt,
                       std::uint64_t counter)
 {
-    SlotState &st = state_[slot];
+    SlotState &st = state_.ref(slot);
     const bool epoch =
         !st.initialized || (counter % kEpochInterval == 0);
 

@@ -18,8 +18,8 @@
 #define DEWRITE_CONTROLLER_BITLEVEL_DEUCE_HH
 
 #include <bitset>
-#include <unordered_map>
 
+#include "common/paged_array.hh"
 #include "controller/bitlevel/bitflip.hh"
 #include "crypto/counter_mode.hh"
 
@@ -38,6 +38,11 @@ class DeuceReducer : public BitLevelReducer
 
     BitTechnique technique() const override { return BitTechnique::Deuce; }
 
+    void reserveSlots(std::uint64_t expected) override
+    {
+        state_.reserve(expected);
+    }
+
   private:
     static constexpr std::size_t kWordBits = 16;
     static constexpr std::size_t kWordsPerLine = kLineBits / kWordBits;
@@ -52,7 +57,7 @@ class DeuceReducer : public BitLevelReducer
     };
 
     const CounterModeEngine &cme_;
-    std::unordered_map<LineAddr, SlotState> state_;
+    PagedArray<SlotState, 1024> state_;
 };
 
 } // namespace dewrite

@@ -12,7 +12,7 @@ namespace dewrite {
 std::size_t
 FnwReducer::onWrite(LineAddr slot, const Line &new_pt, std::uint64_t counter)
 {
-    SlotState &st = state_[slot];
+    SlotState &st = state_.ref(slot);
     const Line new_ct = cme_.encryptLine(new_pt, slot, counter);
 
     std::size_t flips = 0;

@@ -13,8 +13,8 @@
 #define DEWRITE_CONTROLLER_BITLEVEL_FNW_HH
 
 #include <bitset>
-#include <unordered_map>
 
+#include "common/paged_array.hh"
 #include "controller/bitlevel/bitflip.hh"
 #include "crypto/counter_mode.hh"
 
@@ -30,6 +30,11 @@ class FnwReducer : public BitLevelReducer
 
     BitTechnique technique() const override { return BitTechnique::Fnw; }
 
+    void reserveSlots(std::uint64_t expected) override
+    {
+        state_.reserve(expected);
+    }
+
   private:
     static constexpr std::size_t kWordBits = 16;
     static constexpr std::size_t kWordsPerLine = kLineBits / kWordBits;
@@ -41,7 +46,7 @@ class FnwReducer : public BitLevelReducer
     };
 
     const CounterModeEngine &cme_;
-    std::unordered_map<LineAddr, SlotState> state_;
+    PagedArray<SlotState, 1024> state_;
 };
 
 } // namespace dewrite

@@ -14,8 +14,8 @@
 #define DEWRITE_CONTROLLER_BITLEVEL_SECRET_HH
 
 #include <bitset>
-#include <unordered_map>
 
+#include "common/paged_array.hh"
 #include "controller/bitlevel/bitflip.hh"
 #include "crypto/counter_mode.hh"
 
@@ -37,6 +37,11 @@ class SecretReducer : public BitLevelReducer
         return BitTechnique::Secret;
     }
 
+    void reserveSlots(std::uint64_t expected) override
+    {
+        state_.reserve(expected);
+    }
+
   private:
     static constexpr std::size_t kWordBits = 16;
     static constexpr std::size_t kWordsPerLine = kLineBits / kWordBits;
@@ -56,7 +61,7 @@ class SecretReducer : public BitLevelReducer
                                 std::uint16_t target);
 
     const CounterModeEngine &cme_;
-    std::unordered_map<LineAddr, SlotState> state_;
+    PagedArray<SlotState, 1024> state_;
 };
 
 } // namespace dewrite

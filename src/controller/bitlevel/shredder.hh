@@ -14,8 +14,7 @@
 #ifndef DEWRITE_CONTROLLER_BITLEVEL_SHREDDER_HH
 #define DEWRITE_CONTROLLER_BITLEVEL_SHREDDER_HH
 
-#include <unordered_set>
-
+#include "common/paged_array.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -42,7 +41,7 @@ class ZeroLineDirectory
     std::size_t zeroedLines() const { return zeroed_.size(); }
 
   private:
-    std::unordered_set<LineAddr> zeroed_;
+    DenseAddrSet zeroed_;
     Counter eliminated_;
 };
 

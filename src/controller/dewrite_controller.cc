@@ -37,6 +37,8 @@ DeWriteController::DeWriteController(const SystemConfig &config,
                                     options.hashFunction }),
       predictor_(options.historyBits), options_(options)
 {
+    if (reducer_)
+        reducer_->reserveSlots(config.memory.workingSetHint());
 }
 
 DeWriteController::DeWriteController(const SystemConfig &config,

@@ -17,6 +17,9 @@ SecureBaselineController::SecureBaselineController(
       options_(options),
       reducer_(makeReducer(options.technique, cme_))
 {
+    counters_.reserve(config.memory.numLines);
+    written_.reserve(config.memory.numLines);
+    reducer_->reserveSlots(config.memory.workingSetHint());
 }
 
 SecureBaselineController::SecureBaselineController(
@@ -44,7 +47,7 @@ SecureBaselineController::write(LineAddr addr, const Line &data, Time now)
     const MetadataAccessResult counter_access =
         counterCache_.access(addr, true, now);
     const Time counter_ready = now + counter_access.latency;
-    const std::uint64_t counter = ++counters_[addr];
+    const std::uint64_t counter = ++counters_.ref(addr);
     written_.insert(addr);
 
     if (options_.shredZeroLines && data.isZero()) {
@@ -92,10 +95,9 @@ SecureBaselineController::read(LineAddr addr, Time now)
         now + counter_access.latency + config_.timing.aesLine;
     aesEnergy_ += config_.energy.aesLine();
 
-    const auto counter_it = counters_.find(addr);
-    if (counter_it != counters_.end()) {
-        result.data =
-            cme_.decryptLine(access.data, addr, counter_it->second);
+    if (const std::uint64_t *counter = counters_.find(addr)) {
+        if (*counter)
+            result.data = cme_.decryptLine(access.data, addr, *counter);
     }
 
     result.latency = std::max(access.complete, otp_ready) +

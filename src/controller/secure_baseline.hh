@@ -16,10 +16,9 @@
 #define DEWRITE_CONTROLLER_SECURE_BASELINE_HH
 
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "cache/counter_cache.hh"
+#include "common/paged_array.hh"
 #include "common/timing.hh"
 #include "controller/bitlevel/bitflip.hh"
 #include "controller/bitlevel/shredder.hh"
@@ -64,8 +63,8 @@ class SecureBaselineController : public MemController
     std::unique_ptr<BitLevelReducer> reducer_;
     ZeroLineDirectory zeros_;
 
-    std::unordered_map<LineAddr, std::uint64_t> counters_;
-    std::unordered_set<LineAddr> written_;
+    PagedArray<std::uint64_t> counters_;
+    DenseAddrSet written_;
     Energy aesEnergy_ = 0;
 };
 

@@ -279,6 +279,20 @@ Aes128::encryptBlock(const AesBlock &plaintext) const
     return encryptBlockTables(plaintext);
 }
 
+void
+Aes128::encryptBlocks(const AesBlock *in, AesBlock *out,
+                      std::size_t count) const
+{
+#ifdef DEWRITE_X86
+    if (kUseAesni) {
+        encryptBlocksAesni(in, out, count);
+        return;
+    }
+#endif
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = encryptBlockTables(in[i]);
+}
+
 AesBlock
 Aes128::decryptBlock(const AesBlock &ciphertext) const
 {
@@ -308,6 +322,65 @@ Aes128::encryptBlockAesni(const AesBlock &plaintext) const
     return out;
 }
 
+__attribute__((target("aes,sse2"))) void
+Aes128::encryptBlocksAesni(const AesBlock *in, AesBlock *out,
+                           std::size_t count) const
+{
+    const auto *keys = reinterpret_cast<const __m128i *>(
+        roundKeys_.data());
+    __m128i rk[kRounds + 1];
+    for (int round = 0; round <= kRounds; ++round)
+        rk[round] = _mm_loadu_si128(keys + round);
+
+    auto load = [](const AesBlock &b) {
+        return _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b.data()));
+    };
+    auto store = [](AesBlock &b, __m128i v) {
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(b.data()), v);
+    };
+
+    std::size_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+        // Eight independent streams: aesenc has multi-cycle latency but
+        // pipelined throughput, so interleaving keeps the unit busy.
+        __m128i s0 = _mm_xor_si128(load(in[i + 0]), rk[0]);
+        __m128i s1 = _mm_xor_si128(load(in[i + 1]), rk[0]);
+        __m128i s2 = _mm_xor_si128(load(in[i + 2]), rk[0]);
+        __m128i s3 = _mm_xor_si128(load(in[i + 3]), rk[0]);
+        __m128i s4 = _mm_xor_si128(load(in[i + 4]), rk[0]);
+        __m128i s5 = _mm_xor_si128(load(in[i + 5]), rk[0]);
+        __m128i s6 = _mm_xor_si128(load(in[i + 6]), rk[0]);
+        __m128i s7 = _mm_xor_si128(load(in[i + 7]), rk[0]);
+        for (int round = 1; round < kRounds; ++round) {
+            const __m128i k = rk[round];
+            s0 = _mm_aesenc_si128(s0, k);
+            s1 = _mm_aesenc_si128(s1, k);
+            s2 = _mm_aesenc_si128(s2, k);
+            s3 = _mm_aesenc_si128(s3, k);
+            s4 = _mm_aesenc_si128(s4, k);
+            s5 = _mm_aesenc_si128(s5, k);
+            s6 = _mm_aesenc_si128(s6, k);
+            s7 = _mm_aesenc_si128(s7, k);
+        }
+        const __m128i last = rk[kRounds];
+        store(out[i + 0], _mm_aesenclast_si128(s0, last));
+        store(out[i + 1], _mm_aesenclast_si128(s1, last));
+        store(out[i + 2], _mm_aesenclast_si128(s2, last));
+        store(out[i + 3], _mm_aesenclast_si128(s3, last));
+        store(out[i + 4], _mm_aesenclast_si128(s4, last));
+        store(out[i + 5], _mm_aesenclast_si128(s5, last));
+        store(out[i + 6], _mm_aesenclast_si128(s6, last));
+        store(out[i + 7], _mm_aesenclast_si128(s7, last));
+    }
+    for (; i < count; ++i) {
+        __m128i s = _mm_xor_si128(load(in[i]), rk[0]);
+        for (int round = 1; round < kRounds; ++round)
+            s = _mm_aesenc_si128(s, rk[round]);
+        store(out[i], _mm_aesenclast_si128(s, rk[kRounds]));
+    }
+}
+
 __attribute__((target("aes,sse2"))) AesBlock
 Aes128::decryptBlockAesni(const AesBlock &ciphertext) const
 {
@@ -334,6 +407,14 @@ AesBlock
 Aes128::encryptBlockAesni(const AesBlock &plaintext) const
 {
     return encryptBlockTables(plaintext);
+}
+
+void
+Aes128::encryptBlocksAesni(const AesBlock *in, AesBlock *out,
+                           std::size_t count) const
+{
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = encryptBlockTables(in[i]);
 }
 
 AesBlock

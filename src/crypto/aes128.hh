@@ -51,6 +51,16 @@ class Aes128
      */
     AesBlock encryptBlockReference(const AesBlock &plaintext) const;
 
+    /**
+     * Encrypts @p count independent blocks in one call. On AES-NI the
+     * blocks are interleaved eight-wide so the aesenc pipeline stays
+     * full — counter-mode pads (16 independent seed blocks per line)
+     * run several times faster than 16 serial encryptBlock() calls.
+     * Produces byte-identical output to per-block encryption.
+     */
+    void encryptBlocks(const AesBlock *in, AesBlock *out,
+                       std::size_t count) const;
+
     /** Decrypts one 16-byte block (AES-NI when available). */
     AesBlock decryptBlock(const AesBlock &ciphertext) const;
 
@@ -80,6 +90,8 @@ class Aes128
 
     AesBlock encryptBlockTables(const AesBlock &plaintext) const;
     AesBlock encryptBlockAesni(const AesBlock &plaintext) const;
+    void encryptBlocksAesni(const AesBlock *in, AesBlock *out,
+                            std::size_t count) const;
     AesBlock decryptBlockAesni(const AesBlock &ciphertext) const;
 };
 

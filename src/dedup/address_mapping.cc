@@ -12,24 +12,24 @@ namespace dewrite {
 bool
 AddressMappingTable::isRemapped(LineAddr init_addr) const
 {
-    auto it = entries_.find(init_addr);
-    return it != entries_.end() && it->second.remapped;
+    const Entry *entry = entries_.find(init_addr);
+    return entry && entry->remapped;
 }
 
 LineAddr
 AddressMappingTable::realAddr(LineAddr init_addr) const
 {
-    auto it = entries_.find(init_addr);
-    if (it == entries_.end() || !it->second.remapped)
+    const Entry *entry = entries_.find(init_addr);
+    if (!entry || !entry->remapped)
         panic("mapping table: realAddr of non-remapped line %llu",
               static_cast<unsigned long long>(init_addr));
-    return it->second.value;
+    return entry->value;
 }
 
 void
 AddressMappingTable::remap(LineAddr init_addr, LineAddr real_addr)
 {
-    Entry &entry = entries_[init_addr];
+    Entry &entry = entries_.ref(init_addr);
     if (!entry.remapped)
         ++remapped_;
     entry.remapped = true;
@@ -39,7 +39,7 @@ AddressMappingTable::remap(LineAddr init_addr, LineAddr real_addr)
 void
 AddressMappingTable::clearRemap(LineAddr init_addr)
 {
-    Entry &entry = entries_[init_addr];
+    Entry &entry = entries_.ref(init_addr);
     if (entry.remapped)
         --remapped_;
     entry.remapped = false;
@@ -49,19 +49,19 @@ AddressMappingTable::clearRemap(LineAddr init_addr)
 std::uint64_t
 AddressMappingTable::counter(LineAddr init_addr) const
 {
-    auto it = entries_.find(init_addr);
-    if (it == entries_.end())
+    const Entry *entry = entries_.find(init_addr);
+    if (!entry)
         return 0;
-    if (it->second.remapped)
+    if (entry->remapped)
         panic("mapping table: counter read from remapped line %llu",
               static_cast<unsigned long long>(init_addr));
-    return it->second.value;
+    return entry->value;
 }
 
 void
 AddressMappingTable::setCounter(LineAddr init_addr, std::uint64_t counter)
 {
-    Entry &entry = entries_[init_addr];
+    Entry &entry = entries_.ref(init_addr);
     if (entry.remapped)
         panic("mapping table: counter write to remapped line %llu",
               static_cast<unsigned long long>(init_addr));

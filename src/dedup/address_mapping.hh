@@ -15,8 +15,8 @@
 #define DEWRITE_DEDUP_ADDRESS_MAPPING_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/paged_array.hh"
 #include "common/types.hh"
 
 namespace dewrite {
@@ -24,6 +24,9 @@ namespace dewrite {
 class AddressMappingTable
 {
   public:
+    /** Pre-sizes the table for @p num_lines logical lines. */
+    void reserve(std::uint64_t num_lines) { entries_.reserve(num_lines); }
+
     /** True iff logical line @p init_addr is remapped to another slot. */
     bool isRemapped(LineAddr init_addr) const;
 
@@ -56,17 +59,17 @@ class AddressMappingTable
     std::size_t remappedCount() const { return remapped_; }
 
     /**
-     * Visits every remapped entry as (initAddr, realAddr). Used by
-     * recovery to recompute reference counts.
+     * Visits every remapped entry as (initAddr, realAddr) in ascending
+     * address order. Used by recovery to recompute reference counts.
      */
     template <typename Visitor>
     void
     forEachRemapped(Visitor &&visit) const
     {
-        for (const auto &[init_addr, entry] : entries_) {
+        entries_.forEach([&](LineAddr init_addr, const Entry &entry) {
             if (entry.remapped)
                 visit(init_addr, static_cast<LineAddr>(entry.value));
-        }
+        });
     }
 
   private:
@@ -78,8 +81,10 @@ class AddressMappingTable
         std::uint64_t value = 0;
     };
 
-    /** Sparse backing: absent entries are (not remapped, counter 0). */
-    std::unordered_map<LineAddr, Entry> entries_;
+    /** Direct-indexed backing: untouched entries read as
+     *  (not remapped, counter 0), exactly like the paper's
+     *  sequentially stored table. */
+    PagedArray<Entry> entries_;
     std::size_t remapped_ = 0;
 };
 

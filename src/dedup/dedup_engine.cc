@@ -31,6 +31,15 @@ DedupEngine::DedupEngine(const SystemConfig &config, NvmDevice &device,
       options_(options), fingerprinter_(options.hashFunction),
       fsm_(config.memory.numLines)
 {
+    // Size every hot-path structure up front from the config hints so
+    // nothing rehashes or grows a directory mid-run (DESIGN.md §5).
+    const std::uint64_t hint = config.memory.workingSetHint();
+    hashStore_.reserve(hint);
+    mapping_.reserve(config.memory.numLines);
+    invHash_.reserve(config.memory.numLines);
+    written_.reserve(config.memory.numLines);
+    overflow_.reserve(64);
+    majors_.reserve(64);
 }
 
 DedupEngine::DedupEngine(const SystemConfig &config, NvmDevice &device,
@@ -52,8 +61,8 @@ DedupEngine::counterOf(LineAddr slot) const
         return mapping_.counter(slot);
     if (!invHash_.holdsData(slot))
         return invHash_.counter(slot);
-    auto it = overflow_.find(slot);
-    return it == overflow_.end() ? 0 : it->second;
+    const std::uint64_t *spilled = overflow_.find(slot);
+    return spilled ? *spilled : 0;
 }
 
 void
@@ -73,9 +82,9 @@ DedupEngine::setCounterOf(LineAddr slot, std::uint64_t counter)
 std::uint64_t
 DedupEngine::effectiveCounter(LineAddr slot) const
 {
-    auto it = majors_.find(slot);
-    const std::uint64_t major = it == majors_.end() ? 0 : it->second;
-    return (major << options_.counterBits) | counterOf(slot);
+    const std::uint64_t *major = majors_.find(slot);
+    return ((major ? *major : 0) << options_.counterBits) |
+           counterOf(slot);
 }
 
 std::uint64_t
@@ -91,9 +100,8 @@ DedupEngine::bumpCounter(LineAddr slot)
     }
     // The caller re-homes the minor with setCounterOf() *after* its
     // table mutations; storing it here would race the colocation home.
-    const auto it = majors_.find(slot);
-    const std::uint64_t major = it == majors_.end() ? 0 : it->second;
-    return (major << options_.counterBits) | minor;
+    const std::uint64_t *major = majors_.find(slot);
+    return ((major ? *major : 0) << options_.counterBits) | minor;
 }
 
 Time
@@ -137,16 +145,17 @@ DedupEngine::detect(const Line &plaintext, Time now, bool allow_nvm_fill)
         // The functional scan below only *counts* the duplicates this
         // shortcut misses (the ~1.5% of Figure 12's gap); it charges
         // nothing.
-        const std::vector<HashEntry> &chain = hashStore_.lookup(out.hash);
+        const ChainView chain = hashStore_.lookup(out.hash);
         unsigned scanned = 0;
-        for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        for (std::size_t i = chain.size(); i-- > 0;) {
+            const HashEntry &entry = chain[i];
             if (++scanned > options_.maxChainProbe)
                 break;
-            if (it->reference == HashStore::kMaxReference)
+            if (entry.reference == HashStore::kMaxReference)
                 continue;
             const Line stored = cme_.decryptLine(
-                device_.peek(it->realAddr), it->realAddr,
-                effectiveCounter(it->realAddr));
+                device_.peek(entry.realAddr), entry.realAddr,
+                effectiveCounter(entry.realAddr));
             if (stored == plaintext) {
                 missedByPna_.increment();
                 break;
@@ -160,10 +169,10 @@ DedupEngine::detect(const Line &plaintext, Time now, bool allow_nvm_fill)
     // Probe newest-first: when a popular content's old records are
     // pinned at the reference cap, its freshest record is the one with
     // spare references.
-    const std::vector<HashEntry> &chain = hashStore_.lookup(out.hash);
+    const ChainView chain = hashStore_.lookup(out.hash);
     unsigned probes = 0;
-    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-        const HashEntry &entry = *it;
+    for (std::size_t i = chain.size(); i-- > 0;) {
+        const HashEntry &entry = chain[i];
         if (++probes > options_.maxChainProbe)
             break;
         const Line stored =

@@ -25,11 +25,11 @@
 #define DEWRITE_DEDUP_DEDUP_ENGINE_HH
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "cache/metadata_cache.hh"
+#include "common/flat_map.hh"
 #include "common/line.hh"
+#include "common/paged_array.hh"
 #include "common/stats.hh"
 #include "common/timing.hh"
 #include "common/types.hh"
@@ -264,17 +264,17 @@ class DedupEngine
     FreeSpaceTable fsm_;
 
     /** Counters homeless in both tables (rare corner; see DESIGN.md). */
-    std::unordered_map<LineAddr, std::uint64_t> overflow_;
+    FlatMap<LineAddr, std::uint64_t> overflow_;
 
     /**
      * Per-line major counters (split-counter overflow handling). Only
      * lines whose minor counter has wrapped appear here; real designs
      * hold the shared major alongside the page's counters.
      */
-    std::unordered_map<LineAddr, std::uint64_t> majors_;
+    FlatMap<LineAddr, std::uint64_t> majors_;
 
     /** Logical lines ever written (functional validity only). */
-    std::unordered_set<LineAddr> written_;
+    DenseAddrSet written_;
 
     Energy energy_ = 0;
 

@@ -11,107 +11,222 @@
 
 namespace dewrite {
 
-namespace {
-const std::vector<HashEntry> kEmptyChain;
-}
-
-const std::vector<HashEntry> &
+ChainView
 HashStore::lookup(std::uint64_t hash) const
 {
-    auto it = chains_.find(hash);
-    return it == chains_.end() ? kEmptyChain : it->second;
+    const Chain *chain = chains_.find(hash);
+    if (!chain)
+        return ChainView();
+    const std::size_t head =
+        std::min<std::size_t>(chain->count, Chain::kInline);
+    if (chain->count <= Chain::kInline)
+        return ChainView(chain->inlineEntries, head, nullptr, 0);
+    const std::vector<HashEntry> &spill = spills_[chain->spillSlot];
+    return ChainView(chain->inlineEntries, head, spill.data(),
+                     spill.size());
+}
+
+HashStore::Locator
+HashStore::locate(std::uint64_t hash, LineAddr real_addr) const
+{
+    Locator loc{ chains_.findIndex(hash), kNpos };
+    if (loc.chainIdx == kNpos)
+        return loc;
+    const Chain &chain = chains_.valueAt(loc.chainIdx);
+    const std::size_t head =
+        std::min<std::size_t>(chain.count, Chain::kInline);
+    for (std::size_t i = 0; i < head; ++i) {
+        if (chain.inlineEntries[i].realAddr == real_addr) {
+            loc.entryIdx = i;
+            return loc;
+        }
+    }
+    if (chain.count > Chain::kInline) {
+        const std::vector<HashEntry> &spill = spills_[chain.spillSlot];
+        for (std::size_t i = 0; i < spill.size(); ++i) {
+            if (spill[i].realAddr == real_addr) {
+                loc.entryIdx = Chain::kInline + i;
+                return loc;
+            }
+        }
+    }
+    return loc;
+}
+
+HashEntry &
+HashStore::entryAt(Chain &chain, std::size_t i)
+{
+    if (i < Chain::kInline)
+        return chain.inlineEntries[i];
+    return spills_[chain.spillSlot][i - Chain::kInline];
+}
+
+void
+HashStore::appendEntry(Chain &chain, HashEntry entry)
+{
+    if (chain.count < Chain::kInline) {
+        chain.inlineEntries[chain.count] = entry;
+    } else {
+        if (chain.count == Chain::kInline) {
+            // Third entry for this hash: take a spill vector from the
+            // pool (or grow it) rather than allocating per chain.
+            if (freeSpills_.empty()) {
+                chain.spillSlot =
+                    static_cast<std::uint32_t>(spills_.size());
+                spills_.emplace_back();
+            } else {
+                chain.spillSlot = freeSpills_.back();
+                freeSpills_.pop_back();
+            }
+        }
+        spills_[chain.spillSlot].push_back(entry);
+    }
+    ++chain.count;
+}
+
+void
+HashStore::removeEntry(Chain &chain, std::size_t i)
+{
+    std::vector<HashEntry> *spill =
+        chain.count > Chain::kInline ? &spills_[chain.spillSlot] : nullptr;
+    if (i < Chain::kInline) {
+        // Shift the inline tail down, then pull the oldest spilled
+        // entry in behind it, keeping append order intact.
+        for (std::size_t j = i + 1;
+             j < std::min<std::size_t>(chain.count, Chain::kInline); ++j)
+            chain.inlineEntries[j - 1] = chain.inlineEntries[j];
+        if (spill) {
+            chain.inlineEntries[Chain::kInline - 1] = spill->front();
+            spill->erase(spill->begin());
+        }
+    } else {
+        spill->erase(spill->begin() +
+                     static_cast<std::ptrdiff_t>(i - Chain::kInline));
+    }
+    if (spill && spill->empty()) {
+        freeSpills_.push_back(chain.spillSlot);
+        chain.spillSlot = 0;
+    }
+    --chain.count;
 }
 
 void
 HashStore::insert(std::uint64_t hash, LineAddr real_addr)
 {
-    auto &chain = chains_[hash];
-    for (const auto &entry : chain) {
-        if (entry.realAddr == real_addr)
-            panic("hash store: duplicate insert of slot %llu",
-                  static_cast<unsigned long long>(real_addr));
+    auto [chain, inserted] = chains_.tryEmplace(hash);
+    if (!inserted) {
+        const std::size_t head =
+            std::min<std::size_t>(chain->count, Chain::kInline);
+        for (std::size_t i = 0; i < head; ++i) {
+            if (chain->inlineEntries[i].realAddr == real_addr)
+                panic("hash store: duplicate insert of slot %llu",
+                      static_cast<unsigned long long>(real_addr));
+        }
+        if (chain->count > Chain::kInline) {
+            for (const HashEntry &entry : spills_[chain->spillSlot]) {
+                if (entry.realAddr == real_addr)
+                    panic("hash store: duplicate insert of slot %llu",
+                          static_cast<unsigned long long>(real_addr));
+            }
+        }
     }
-    chain.push_back({ real_addr, 1 });
+    appendEntry(*chain, { real_addr, 1 });
     ++size_;
 }
 
 bool
 HashStore::addReference(std::uint64_t hash, LineAddr real_addr)
 {
-    auto it = chains_.find(hash);
-    if (it == chains_.end())
+    const Locator loc = locate(hash, real_addr);
+    if (loc.chainIdx == kNpos)
         panic("hash store: addReference on absent hash 0x%llx",
               static_cast<unsigned long long>(hash));
-    for (auto &entry : it->second) {
-        if (entry.realAddr == real_addr) {
-            if (entry.reference == kMaxReference) {
-                saturationRefusals_.increment();
-                return false;
-            }
-            ++entry.reference;
-            return true;
-        }
+    if (loc.entryIdx == kNpos)
+        panic("hash store: addReference on absent slot %llu",
+              static_cast<unsigned long long>(real_addr));
+    HashEntry &entry =
+        entryAt(chains_.valueAt(loc.chainIdx), loc.entryIdx);
+    if (entry.reference == kMaxReference) {
+        saturationRefusals_.increment();
+        return false;
     }
-    panic("hash store: addReference on absent slot %llu",
-          static_cast<unsigned long long>(real_addr));
+    ++entry.reference;
+    return true;
 }
 
 bool
 HashStore::dropReference(std::uint64_t hash, LineAddr real_addr)
 {
-    auto it = chains_.find(hash);
-    if (it == chains_.end())
+    const Locator loc = locate(hash, real_addr);
+    if (loc.chainIdx == kNpos)
         panic("hash store: dropReference on absent hash 0x%llx",
               static_cast<unsigned long long>(hash));
-    auto &chain = it->second;
-    for (std::size_t i = 0; i < chain.size(); ++i) {
-        if (chain[i].realAddr != real_addr)
-            continue;
-        // A saturated count no longer tracks the true reference number,
-        // so it is pinned: the record outlives its references rather
-        // than risking premature reclamation.
-        if (chain[i].reference == kMaxReference)
-            return false;
-        if (--chain[i].reference > 0)
-            return false;
-        chain.erase(chain.begin() + static_cast<std::ptrdiff_t>(i));
-        --size_;
-        if (chain.empty())
-            chains_.erase(it);
-        return true;
-    }
-    panic("hash store: dropReference on absent slot %llu",
-          static_cast<unsigned long long>(real_addr));
+    if (loc.entryIdx == kNpos)
+        panic("hash store: dropReference on absent slot %llu",
+              static_cast<unsigned long long>(real_addr));
+    Chain &chain = chains_.valueAt(loc.chainIdx);
+    HashEntry &entry = entryAt(chain, loc.entryIdx);
+    // A saturated count no longer tracks the true reference number,
+    // so it is pinned: the record outlives its references rather
+    // than risking premature reclamation.
+    if (entry.reference == kMaxReference)
+        return false;
+    if (--entry.reference > 0)
+        return false;
+    removeEntry(chain, loc.entryIdx);
+    --size_;
+    if (chain.count == 0)
+        chains_.eraseIndex(loc.chainIdx);
+    return true;
 }
 
 std::uint8_t
 HashStore::reference(std::uint64_t hash, LineAddr real_addr) const
 {
-    for (const auto &entry : lookup(hash)) {
-        if (entry.realAddr == real_addr)
-            return entry.reference;
-    }
-    return 0;
+    const Locator loc = locate(hash, real_addr);
+    if (loc.entryIdx == kNpos)
+        return 0;
+    return const_cast<HashStore *>(this)
+        ->entryAt(const_cast<Chain &>(chains_.valueAt(loc.chainIdx)),
+                  loc.entryIdx)
+        .reference;
 }
 
 void
 HashStore::restore(std::uint64_t hash, LineAddr real_addr,
                    std::uint64_t references)
 {
-    insert(hash, real_addr);
-    auto &chain = chains_[hash];
-    chain.back().reference = static_cast<std::uint8_t>(
+    const std::uint8_t clamped = static_cast<std::uint8_t>(
         std::min<std::uint64_t>(references, kMaxReference));
+    auto [chain, inserted] = chains_.tryEmplace(hash);
+    if (!inserted) {
+        const std::size_t head =
+            std::min<std::size_t>(chain->count, Chain::kInline);
+        for (std::size_t i = 0; i < head; ++i) {
+            if (chain->inlineEntries[i].realAddr == real_addr)
+                panic("hash store: duplicate restore of slot %llu",
+                      static_cast<unsigned long long>(real_addr));
+        }
+        if (chain->count > Chain::kInline) {
+            for (const HashEntry &entry : spills_[chain->spillSlot]) {
+                if (entry.realAddr == real_addr)
+                    panic("hash store: duplicate restore of slot %llu",
+                          static_cast<unsigned long long>(real_addr));
+            }
+        }
+    }
+    appendEntry(*chain, { real_addr, clamped });
+    ++size_;
 }
 
 std::size_t
 HashStore::collidingEntries() const
 {
     std::size_t colliding = 0;
-    for (const auto &[hash, chain] : chains_) {
-        if (chain.size() > 1)
-            colliding += chain.size();
-    }
+    chains_.forEach([&](std::uint64_t, const Chain &chain) {
+        if (chain.count > 1)
+            colliding += chain.count;
+    });
     return colliding;
 }
 
@@ -119,9 +234,21 @@ std::size_t
 HashStore::maxChainLength() const
 {
     std::size_t longest = 0;
-    for (const auto &[hash, chain] : chains_)
-        longest = std::max(longest, chain.size());
+    chains_.forEach([&](std::uint64_t, const Chain &chain) {
+        longest = std::max<std::size_t>(longest, chain.count);
+    });
     return longest;
+}
+
+std::size_t
+HashStore::spilledChains() const
+{
+    std::size_t spilled = 0;
+    chains_.forEach([&](std::uint64_t, const Chain &chain) {
+        if (chain.count > Chain::kInline)
+            ++spilled;
+    });
+    return spilled;
 }
 
 } // namespace dewrite

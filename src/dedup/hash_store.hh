@@ -10,15 +10,23 @@
  * reaches 255 references is pinned as "highly referenced" and further
  * duplicates of it are written normally rather than deduplicated, which
  * bounds the field width at the cost of a few missed eliminations.
+ *
+ * Storage is a FlatMap from hash to a small-buffer chain: the one- and
+ * two-entry chains that dominate in practice (CRC collisions are rare,
+ * Figure 6) live inline in the map slot, and only a genuinely colliding
+ * hash spills to a pooled vector. Chain order is append order and erase
+ * preserves it, so the engine's newest-first probe sees exactly the
+ * sequence the old vector-per-hash layout produced. Every mutation
+ * probes the table once.
  */
 
 #ifndef DEWRITE_DEDUP_HASH_STORE_HH
 #define DEWRITE_DEDUP_HASH_STORE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -31,6 +39,37 @@ struct HashEntry
     std::uint8_t reference;
 };
 
+/**
+ * Read-only view of one hash's collision chain, in append order
+ * (index 0 oldest). Valid until the next HashStore mutation.
+ */
+class ChainView
+{
+  public:
+    ChainView() = default;
+    ChainView(const HashEntry *head, std::size_t head_count,
+              const HashEntry *spill, std::size_t spill_count)
+        : head_(head), headCount_(head_count), spill_(spill),
+          spillCount_(spill_count)
+    {
+    }
+
+    std::size_t size() const { return headCount_ + spillCount_; }
+    bool empty() const { return size() == 0; }
+
+    const HashEntry &
+    operator[](std::size_t i) const
+    {
+        return i < headCount_ ? head_[i] : spill_[i - headCount_];
+    }
+
+  private:
+    const HashEntry *head_ = nullptr;
+    std::size_t headCount_ = 0;
+    const HashEntry *spill_ = nullptr;
+    std::size_t spillCount_ = 0;
+};
+
 class HashStore
 {
   public:
@@ -41,7 +80,7 @@ class HashStore
      * Returns the chain of slots fingerprinted by @p hash (possibly
      * empty; more than one entry means a CRC collision is live).
      */
-    const std::vector<HashEntry> &lookup(std::uint64_t hash) const;
+    ChainView lookup(std::uint64_t hash) const;
 
     /** Inserts a new record with reference 1. The pair must be absent. */
     void insert(std::uint64_t hash, LineAddr real_addr);
@@ -70,6 +109,9 @@ class HashStore
     void restore(std::uint64_t hash, LineAddr real_addr,
                  std::uint64_t references);
 
+    /** Pre-sizes the table for @p expected records (no mid-run rehash). */
+    void reserve(std::size_t expected) { chains_.reserve(expected); }
+
     /** Number of live records. */
     std::size_t size() const { return size_; }
 
@@ -85,25 +127,67 @@ class HashStore
     /** Longest live collision chain. */
     std::size_t maxChainLength() const;
 
+    /** Chains that outgrew the inline buffer (testing / inspection). */
+    std::size_t spilledChains() const;
+
     /** Cumulative saturation refusals (for the Figure 12 miss budget). */
     std::uint64_t saturationRefusals() const
     {
         return saturationRefusals_.value();
     }
 
-    /** Visits every record (testing / refcount histograms). */
+    /**
+     * Visits every record in ascending hash order (entries of one hash
+     * in chain order), so consumers — refcount histograms, recovery
+     * audits — see a sequence independent of table layout.
+     */
     template <typename Visitor>
     void
     forEach(Visitor &&visit) const
     {
-        for (const auto &[hash, chain] : chains_) {
-            for (const auto &entry : chain)
-                visit(hash, entry);
-        }
+        chains_.forEachSorted([&](std::uint64_t hash, const Chain &chain) {
+            const std::size_t head =
+                std::min<std::size_t>(chain.count, Chain::kInline);
+            for (std::size_t i = 0; i < head; ++i)
+                visit(hash, chain.inlineEntries[i]);
+            if (chain.count > Chain::kInline) {
+                for (const HashEntry &entry : spills_[chain.spillSlot])
+                    visit(hash, entry);
+            }
+        });
     }
 
   private:
-    std::unordered_map<std::uint64_t, std::vector<HashEntry>> chains_;
+    /**
+     * One hash's records: up to kInline held inline, the rest in
+     * spills_[spillSlot]. Logical order is inlineEntries then spill.
+     */
+    struct Chain
+    {
+        static constexpr std::size_t kInline = 2;
+
+        HashEntry inlineEntries[kInline];
+        std::uint32_t count = 0;
+        std::uint32_t spillSlot = 0; // Valid only while count > kInline.
+    };
+
+    static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+    /** Index of (hash-chain, entry) located by one table probe. */
+    struct Locator
+    {
+        std::size_t chainIdx; // FlatMap slot index, kNpos if hash absent.
+        std::size_t entryIdx; // Position in the chain, kNpos if absent.
+    };
+
+    Locator locate(std::uint64_t hash, LineAddr real_addr) const;
+    HashEntry &entryAt(Chain &chain, std::size_t i);
+    void appendEntry(Chain &chain, HashEntry entry);
+    void removeEntry(Chain &chain, std::size_t i);
+
+    FlatMap<std::uint64_t, Chain> chains_;
+    std::vector<std::vector<HashEntry>> spills_;
+    std::vector<std::uint32_t> freeSpills_;
     std::size_t size_ = 0;
     Counter saturationRefusals_;
 };

@@ -12,24 +12,24 @@ namespace dewrite {
 bool
 InvertedHashTable::holdsData(LineAddr real_addr) const
 {
-    auto it = entries_.find(real_addr);
-    return it != entries_.end() && it->second.hasHash;
+    const Entry *entry = entries_.find(real_addr);
+    return entry && entry->hasHash;
 }
 
 std::uint64_t
 InvertedHashTable::hash(LineAddr real_addr) const
 {
-    auto it = entries_.find(real_addr);
-    if (it == entries_.end() || !it->second.hasHash)
+    const Entry *entry = entries_.find(real_addr);
+    if (!entry || !entry->hasHash)
         panic("inverted hash: hash of empty slot %llu",
               static_cast<unsigned long long>(real_addr));
-    return it->second.value;
+    return entry->value;
 }
 
 void
 InvertedHashTable::setHash(LineAddr real_addr, std::uint64_t hash)
 {
-    Entry &entry = entries_[real_addr];
+    Entry &entry = entries_.ref(real_addr);
     if (!entry.hasHash)
         ++dataSlots_;
     entry.hasHash = true;
@@ -39,7 +39,7 @@ InvertedHashTable::setHash(LineAddr real_addr, std::uint64_t hash)
 void
 InvertedHashTable::clearHash(LineAddr real_addr)
 {
-    Entry &entry = entries_[real_addr];
+    Entry &entry = entries_.ref(real_addr);
     if (entry.hasHash)
         --dataSlots_;
     entry.hasHash = false;
@@ -49,19 +49,19 @@ InvertedHashTable::clearHash(LineAddr real_addr)
 std::uint64_t
 InvertedHashTable::counter(LineAddr real_addr) const
 {
-    auto it = entries_.find(real_addr);
-    if (it == entries_.end())
+    const Entry *entry = entries_.find(real_addr);
+    if (!entry)
         return 0;
-    if (it->second.hasHash)
+    if (entry->hasHash)
         panic("inverted hash: counter read from data slot %llu",
               static_cast<unsigned long long>(real_addr));
-    return it->second.value;
+    return entry->value;
 }
 
 void
 InvertedHashTable::setCounter(LineAddr real_addr, std::uint64_t counter)
 {
-    Entry &entry = entries_[real_addr];
+    Entry &entry = entries_.ref(real_addr);
     if (entry.hasHash)
         panic("inverted hash: counter write to data slot %llu",
               static_cast<unsigned long long>(real_addr));

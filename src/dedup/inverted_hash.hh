@@ -15,8 +15,8 @@
 #define DEWRITE_DEDUP_INVERTED_HASH_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/paged_array.hh"
 #include "common/types.hh"
 
 namespace dewrite {
@@ -24,6 +24,9 @@ namespace dewrite {
 class InvertedHashTable
 {
   public:
+    /** Pre-sizes the table for @p num_lines storage slots. */
+    void reserve(std::uint64_t num_lines) { entries_.reserve(num_lines); }
+
     /** True iff slot @p real_addr currently holds valid data. */
     bool holdsData(LineAddr real_addr) const;
 
@@ -57,17 +60,18 @@ class InvertedHashTable
     std::size_t dataSlots() const { return dataSlots_; }
 
     /**
-     * Visits every data-holding slot as (realAddr, hash). Used by
-     * recovery to rebuild the hash store and the free-space bitmap.
+     * Visits every data-holding slot as (realAddr, hash) in ascending
+     * slot order. Used by recovery to rebuild the hash store and the
+     * free-space bitmap.
      */
     template <typename Visitor>
     void
     forEachDataSlot(Visitor &&visit) const
     {
-        for (const auto &[real_addr, entry] : entries_) {
+        entries_.forEach([&](LineAddr real_addr, const Entry &entry) {
             if (entry.hasHash)
                 visit(real_addr, entry.value);
-        }
+        });
     }
 
   private:
@@ -77,7 +81,7 @@ class InvertedHashTable
         std::uint64_t value = 0; //!< hash when hasHash, counter otherwise.
     };
 
-    std::unordered_map<LineAddr, Entry> entries_;
+    PagedArray<Entry> entries_;
     std::size_t dataSlots_ = 0;
 };
 

@@ -5,9 +5,9 @@
 
 #include "dedup/recovery.hh"
 
-#include <unordered_map>
 #include <vector>
 
+#include "common/paged_array.hh"
 #include "dedup/dedup_engine.hh"
 #include "nvm/nvm_device.hh"
 
@@ -20,21 +20,21 @@ namespace {
  * remapped logicals pointing at the slot, plus the slot's own logical
  * when it holds its own data.
  */
-std::unordered_map<LineAddr, std::uint64_t>
+PagedArray<std::uint64_t>
 recomputeReferences(const DedupEngine &engine,
-                    const std::unordered_set<LineAddr> &written)
+                    const DenseAddrSet &written)
 {
-    std::unordered_map<LineAddr, std::uint64_t> refs;
+    PagedArray<std::uint64_t> refs;
     engine.mapping().forEachRemapped(
         [&](LineAddr, LineAddr real_addr) {
             if (real_addr != DedupEngine::kNoData)
-                ++refs[real_addr];
+                ++refs.ref(real_addr);
         });
     engine.invertedHash().forEachDataSlot(
         [&](LineAddr slot, std::uint64_t) {
             if (!engine.mapping().isRemapped(slot) &&
                 written.contains(slot)) {
-                ++refs[slot];
+                ++refs.ref(slot);
             }
         });
     return refs;
@@ -63,9 +63,7 @@ RecoveryManager::audit() const
                 ++report.missingHashRecords;
                 return;
             }
-            auto it = refs.find(slot);
-            const std::uint64_t expected =
-                it == refs.end() ? 0 : it->second;
+            const std::uint64_t expected = refs.get(slot);
             if (recorded != HashStore::kMaxReference &&
                 recorded != expected) {
                 ++report.wrongReferences;
@@ -110,14 +108,14 @@ RecoveryManager::rebuild()
     // Start from empty derived structures and restore them from the
     // durable inverted-hash walk.
     engine_.hashStore_ = HashStore();
+    engine_.hashStore_.reserve(engine_.config_.memory.workingSetHint());
     engine_.fsm_ = FreeSpaceTable(engine_.config_.memory.numLines);
 
     std::vector<LineAddr> orphaned;
     engine_.invertedHash().forEachDataSlot(
         [&](LineAddr slot, std::uint64_t hash) {
             ++report.slotsScanned;
-            auto it = refs.find(slot);
-            const std::uint64_t count = it == refs.end() ? 0 : it->second;
+            const std::uint64_t count = refs.get(slot);
             // A data slot nobody references can only appear if the
             // crash interrupted a release; reclaim it below.
             if (count == 0) {

@@ -17,6 +17,10 @@ NvmDevice::NvmDevice(const SystemConfig &config)
       banks_(config.timing.numBanks),
       openRow_(config.timing.numBanks, ~0ULL)
 {
+    // Data region plus the metadata region the controllers place above
+    // it; the store's page directory never reallocates mid-run.
+    store_.reserve(config.memory.numLines + config.memory.numLines / 8);
+    wear_.reserve(config.memory.numLines + config.memory.numLines / 8);
 }
 
 std::uint64_t
@@ -43,9 +47,8 @@ NvmDevice::read(LineAddr addr, Time now)
     }
 
     NvmAccess access;
-    auto it = store_.find(addr);
-    if (it != store_.end())
-        access.data = it->second;
+    if (const Line *line = store_.find(addr))
+        access.data = *line;
     access.start = svc.start;
     access.complete = svc.complete;
     access.queueDelay = svc.queueDelay;
@@ -64,7 +67,7 @@ NvmDevice::write(LineAddr addr, const Line &data, Time now,
     numWrites_.increment();
     energy_ += config_.energy.nvmWritePerBit * bits_written;
     wear_.recordWrite(addr, bits_written);
-    store_[addr] = data;
+    store_.refForWrite(addr) = data;
 
     NvmAccess access;
     access.start = svc.start;
@@ -81,20 +84,20 @@ NvmDevice::writeBackground(LineAddr addr, const Line &data,
     numBackgroundWrites_.increment();
     energy_ += config_.energy.nvmWritePerBit * bits_written;
     wear_.recordWrite(addr, bits_written);
-    store_[addr] = data;
+    store_.refForWrite(addr) = data;
 }
 
 Line
 NvmDevice::peek(LineAddr addr) const
 {
-    auto it = store_.find(addr);
-    return it == store_.end() ? Line() : it->second;
+    const Line *line = store_.find(addr);
+    return line ? *line : Line();
 }
 
 bool
 NvmDevice::isWritten(LineAddr addr) const
 {
-    return store_.contains(addr);
+    return store_.isWritten(addr);
 }
 
 Time

@@ -3,9 +3,9 @@
  * The PCM main-memory device model (the NVMain substitute).
  *
  * Combines three concerns behind one interface:
- *  - functional storage: a sparse map of line contents, so the stack can
- *    verify end-to-end data integrity (encrypt-at-rest, dedup
- *    round-trips);
+ *  - functional storage: a paged, direct-indexed store of line contents
+ *    (DenseLineStore), so the stack can verify end-to-end data
+ *    integrity (encrypt-at-rest, dedup round-trips);
  *  - timing: per-bank busy-until scheduling with the paper's asymmetric
  *    read (75 ns) / write (300 ns) latencies;
  *  - accounting: energy (per-bit read/write), wear, and queueing stats.
@@ -19,9 +19,9 @@
 #ifndef DEWRITE_NVM_NVM_DEVICE_HH
 #define DEWRITE_NVM_NVM_DEVICE_HH
 
-#include <unordered_map>
 #include <vector>
 
+#include "common/dense_line_store.hh"
 #include "common/line.hh"
 #include "common/timing.hh"
 #include "common/types.hh"
@@ -104,7 +104,7 @@ class NvmDevice
     AddressDecoder decoder_;
     std::vector<NvmBank> banks_;
     std::vector<std::uint64_t> openRow_; //!< Per-bank open row.
-    std::unordered_map<LineAddr, Line> store_;
+    DenseLineStore store_;
     WearTracker wear_;
 
     Counter numReads_;

@@ -12,7 +12,9 @@ namespace dewrite {
 void
 WearTracker::recordWrite(LineAddr addr, std::size_t bits_written)
 {
-    const std::uint64_t count = ++lineWrites_[addr];
+    std::uint64_t &writes = lineWrites_.ref(addr);
+    linesTouched_ += writes == 0 ? 1 : 0;
+    const std::uint64_t count = ++writes;
     maxLineWrites_ = std::max(maxLineWrites_, count);
     ++totalWrites_;
     totalBits_ += bits_written;
@@ -21,8 +23,7 @@ WearTracker::recordWrite(LineAddr addr, std::size_t bits_written)
 std::uint64_t
 WearTracker::lineWrites(LineAddr addr) const
 {
-    auto it = lineWrites_.find(addr);
-    return it == lineWrites_.end() ? 0 : it->second;
+    return lineWrites_.get(addr);
 }
 
 double

@@ -13,8 +13,8 @@
 #define DEWRITE_NVM_WEAR_TRACKER_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/paged_array.hh"
 #include "common/types.hh"
 
 namespace dewrite {
@@ -22,6 +22,9 @@ namespace dewrite {
 class WearTracker
 {
   public:
+    /** Pre-sizes the per-line count array for @p num_lines addresses. */
+    void reserve(std::uint64_t num_lines) { lineWrites_.reserve(num_lines); }
+
     /** Records one write of @p bits_written cell-bits at @p addr. */
     void recordWrite(LineAddr addr, std::size_t bits_written);
 
@@ -35,7 +38,7 @@ class WearTracker
     std::uint64_t maxLineWrites() const { return maxLineWrites_; }
 
     /** Number of distinct lines ever written. */
-    std::size_t linesTouched() const { return lineWrites_.size(); }
+    std::size_t linesTouched() const { return linesTouched_; }
 
     /** Writes recorded against one line. */
     std::uint64_t lineWrites(LineAddr addr) const;
@@ -50,7 +53,8 @@ class WearTracker
                             std::uint64_t leveled_lines) const;
 
   private:
-    std::unordered_map<LineAddr, std::uint64_t> lineWrites_;
+    PagedArray<std::uint64_t> lineWrites_;
+    std::size_t linesTouched_ = 0;
     std::uint64_t totalWrites_ = 0;
     std::uint64_t totalBits_ = 0;
     std::uint64_t maxLineWrites_ = 0;

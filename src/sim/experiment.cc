@@ -87,7 +87,17 @@ runAppDetailed(const AppProfile &profile, const SystemConfig &config,
         traces.push_back(workloads.back().get());
     }
 
-    detailed.system = std::make_unique<System>(config, scheme);
+    // Derive the table sizing hint from what this run can actually
+    // touch: the multi-programmed working set, capped by the event
+    // budget (a run of N events writes at most N distinct lines).
+    SystemConfig sized = config;
+    if (sized.memory.workingSetHintLines == 0) {
+        sized.memory.workingSetHintLines = std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(cores) * profile.workingSetLines,
+            std::max<std::uint64_t>(max_events, 1024));
+    }
+
+    detailed.system = std::make_unique<System>(sized, scheme);
     detailed.result.scheme = detailed.system->controller().name();
     detailed.result.run = detailed.system->run(traces, max_events);
     detailed.system->controller().fillStats(detailed.result.stats);

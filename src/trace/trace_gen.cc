@@ -29,6 +29,11 @@ SyntheticWorkload::SyntheticWorkload(const AppProfile &profile,
     const double g = profile.glitchRate;
     phaseDupProb_ = std::clamp((profile.dupTarget - g) / (1.0 - 2.0 * g),
                                0.0, 1.0);
+    // The generator only touches [addrBase_, addrBase_ + workingSet);
+    // size the mirror once so no growth happens while generating.
+    image_.reserve(addr_base + profile.workingSetLines);
+    dupWritten_.reserve(addr_base + profile.workingSetLines);
+    writtenAddrs_.reserve(profile.workingSetLines);
 }
 
 SyntheticWorkload::SyntheticWorkload(const AppProfile &profile,
@@ -138,25 +143,24 @@ SyntheticWorkload::next(MemEvent &event)
             // zeroGivenDup the sole control of the zero-line share
             // (zeros would otherwise snowball through resampling).
             event.data =
-                image_.at(sampleWrittenAddr(profile_.popularityTheta));
+                *image_.find(sampleWrittenAddr(profile_.popularityTheta));
             for (int retry = 0; retry < 4 && event.data.isZero();
                  ++retry) {
-                event.data = image_.at(
+                event.data = *image_.find(
                     sampleWrittenAddr(profile_.popularityTheta));
             }
         }
         event.addr = chooseWriteAddr();
     } else {
         event.addr = chooseWriteAddr();
-        auto existing = image_.find(event.addr);
-        if (existing != image_.end() &&
-            rng_.chance(profile_.rewriteFraction)) {
+        const Line *existing = image_.find(event.addr);
+        if (existing && rng_.chance(profile_.rewriteFraction)) {
             // Word-sparse rewrite of live data — the access pattern
             // DEUCE's partial re-encryption exploits. A line's hot
             // words are fixed per address (the same counter/pointer
             // fields change on every rewrite), so the modified set a
             // DEUCE epoch accumulates stays small.
-            event.data = existing->second;
+            event.data = *existing;
             const unsigned words =
                 1 + static_cast<unsigned>(event.addr %
                                           profile_.mutateWordsMax);
@@ -172,9 +176,9 @@ SyntheticWorkload::next(MemEvent &event)
         }
     }
 
-    if (image_.find(event.addr) == image_.end())
+    if (!image_.isWritten(event.addr))
         writtenAddrs_.push_back(event.addr);
-    image_[event.addr] = event.data;
+    image_.refForWrite(event.addr) = event.data;
     if (dup)
         dupWritten_.insert(event.addr);
     else

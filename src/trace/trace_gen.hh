@@ -24,10 +24,10 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/dense_line_store.hh"
+#include "common/paged_array.hh"
 #include "common/rng.hh"
 #include "trace/trace.hh"
 
@@ -105,9 +105,9 @@ class SyntheticWorkload : public TraceSource
     std::shared_ptr<SharedPhase> phase_;
     double phaseDupProb_; //!< Phase-level dup prob after glitch removal.
 
-    std::unordered_map<LineAddr, Line> image_; //!< Mirror of memory.
-    std::vector<LineAddr> writtenAddrs_;       //!< Insertion order.
-    std::unordered_set<LineAddr> dupWritten_;  //!< Last write was a dup.
+    DenseLineStore image_;               //!< Mirror of memory.
+    std::vector<LineAddr> writtenAddrs_; //!< Insertion order.
+    DenseAddrSet dupWritten_;            //!< Last write was a dup.
     std::uint64_t uniqueStamp_ = 0;
     LineAddr nextFreshAddr_ = 0;
 };

@@ -5,7 +5,8 @@
 
 #include "trace/workload_stats.hh"
 
-#include <unordered_map>
+#include "common/dense_line_store.hh"
+#include "common/flat_map.hh"
 
 namespace dewrite {
 
@@ -36,8 +37,8 @@ measureWorkload(TraceSource &trace, std::uint64_t max_events)
 
     // Reference image: per-address contents plus a multiset of live
     // contents so "exists anywhere in memory" is O(1).
-    std::unordered_map<LineAddr, Line> image;
-    std::unordered_map<Line, std::uint64_t, LineHash> live;
+    DenseLineStore image;
+    FlatMap<Line, std::uint64_t, LineHash> live;
 
     bool prev_dup = false;
     MemEvent event;
@@ -47,7 +48,7 @@ measureWorkload(TraceSource &trace, std::uint64_t max_events)
             continue;
         }
 
-        const bool dup = live.find(event.data) != live.end();
+        const bool dup = live.contains(event.data);
         if (stats.writes > 0 && dup == prev_dup)
             ++stats.sameStateAsPrev;
         prev_dup = dup;
@@ -58,13 +59,12 @@ measureWorkload(TraceSource &trace, std::uint64_t max_events)
         if (event.data.isZero())
             ++stats.zeroWrites;
 
-        auto old = image.find(event.addr);
-        if (old != image.end()) {
-            auto it = live.find(old->second);
-            if (it != live.end() && --it->second == 0)
-                live.erase(it);
+        if (const Line *old = image.find(event.addr)) {
+            std::uint64_t *count = live.find(*old);
+            if (count && --*count == 0)
+                live.erase(*old);
         }
-        image[event.addr] = event.data;
+        image.refForWrite(event.addr) = event.data;
         ++live[event.data];
     }
     return stats;
