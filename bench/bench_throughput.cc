@@ -7,19 +7,21 @@
  * events per second — the number the flat-container and crypto-kernel
  * work optimizes. Results go to stdout as a table and to
  * BENCH_throughput.json (in the working directory) for tracking across
- * commits.
+ * commits; the JSON includes each scheme's runner profile (per-cell
+ * wall time, queue wait, per-worker busy time) so scaling regressions
+ * show up alongside the throughput number.
  *
  * Events per cell come from DEWRITE_EVENTS (default 120000); pass
  * --quick for a 20x shorter run with the same shape.
  */
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/table_printer.hh"
+#include "obs/bench_report.hh"
 #include "sim/parallel_runner.hh"
 #include "trace/app_catalog.hh"
 
@@ -33,6 +35,7 @@ struct SchemeTiming
     std::size_t cells = 0;
     std::uint64_t events = 0;
     double seconds = 0.0;
+    RunnerProfile profile;
 
     double eventsPerSec() const
     {
@@ -69,25 +72,25 @@ main(int argc, char **argv)
     for (const auto &[name, scheme] : schemes) {
         SchemeTiming timing;
         timing.name = name;
-        const auto t0 = std::chrono::steady_clock::now();
-        const auto cells = runMatrix(apps, { scheme }, config, events, 0);
-        const auto t1 = std::chrono::steady_clock::now();
-        timing.seconds = std::chrono::duration<double>(t1 - t0).count();
+        const auto cells = runMatrixProfiled(apps, { scheme }, config,
+                                             timing.profile, events, 0);
+        timing.seconds = timing.profile.wallSeconds;
         timing.cells = cells.size();
         for (const auto &cell : cells)
             timing.events += cell.run.events;
         total_events += timing.events;
         total_seconds += timing.seconds;
-        timings.push_back(timing);
+        timings.push_back(std::move(timing));
     }
 
     TablePrinter table({ "scheme", "cells", "events", "wall (s)",
-                         "events/sec" });
+                         "events/sec", "util" });
     for (const SchemeTiming &t : timings) {
         table.addRow({ t.name, std::to_string(t.cells),
                        std::to_string(t.events),
                        TablePrinter::num(t.seconds),
-                       TablePrinter::num(t.eventsPerSec(), 0) });
+                       TablePrinter::num(t.eventsPerSec(), 0),
+                       TablePrinter::num(t.profile.utilization(), 2) });
     }
     const double overall =
         total_seconds > 0 ? static_cast<double>(total_events) /
@@ -95,34 +98,35 @@ main(int argc, char **argv)
                           : 0.0;
     table.addRow({ "TOTAL", "-", std::to_string(total_events),
                    TablePrinter::num(total_seconds),
-                   TablePrinter::num(overall, 0) });
+                   TablePrinter::num(overall, 0), "-" });
     table.print();
 
-    std::FILE *json = std::fopen("BENCH_throughput.json", "w");
-    if (!json) {
-        std::fprintf(stderr, "cannot write BENCH_throughput.json\n");
+    obs::BenchReport report("throughput", events, runnerThreads());
+    if (!report.opened())
+        return 1;
+    obs::JsonWriter &w = report.json();
+    w.key("schemes");
+    w.beginArray();
+    for (const SchemeTiming &t : timings) {
+        w.beginObject();
+        w.field("scheme", t.name);
+        w.field("cells", static_cast<std::uint64_t>(t.cells));
+        w.field("events", t.events);
+        w.field("wall_seconds", t.seconds);
+        w.field("events_per_sec", t.eventsPerSec());
+        w.key("profile");
+        t.profile.writeJson(w);
+        w.endObject();
+    }
+    w.endArray();
+    w.field("total_events", total_events);
+    w.field("total_wall_seconds", total_seconds);
+    w.field("events_per_sec", overall);
+    if (!report.close()) {
+        std::fprintf(stderr, "failed writing %s\n",
+                     report.path().c_str());
         return 1;
     }
-    std::fprintf(json, "{\n  \"events_per_cell\": %llu,\n",
-                 static_cast<unsigned long long>(events));
-    std::fprintf(json, "  \"schemes\": [\n");
-    for (std::size_t i = 0; i < timings.size(); ++i) {
-        const SchemeTiming &t = timings[i];
-        std::fprintf(json,
-                     "    {\"scheme\": \"%s\", \"cells\": %zu, "
-                     "\"events\": %llu, \"wall_seconds\": %.6f, "
-                     "\"events_per_sec\": %.0f}%s\n",
-                     t.name.c_str(), t.cells,
-                     static_cast<unsigned long long>(t.events), t.seconds,
-                     t.eventsPerSec(), i + 1 < timings.size() ? "," : "");
-    }
-    std::fprintf(json, "  ],\n");
-    std::fprintf(json,
-                 "  \"total_events\": %llu,\n  \"total_wall_seconds\": "
-                 "%.6f,\n  \"events_per_sec\": %.0f\n}\n",
-                 static_cast<unsigned long long>(total_events),
-                 total_seconds, overall);
-    std::fclose(json);
-    std::printf("\nwrote BENCH_throughput.json\n");
+    std::printf("\nwrote %s\n", report.path().c_str());
     return 0;
 }

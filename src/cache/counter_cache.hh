@@ -50,6 +50,28 @@ class CounterCache
 
     Energy totalEnergy() const { return energy_; }
 
+    /**
+     * Registers cache metrics under @p scope (canonically
+     * "cache.counter"); the hit-rate gauge keeps the legacy
+     * "counter_cache_hit_rate" StatSet key.
+     */
+    void registerMetrics(obs::MetricRegistry::Scope scope) const
+    {
+        scope.gauge("hit_rate", [this] { return hitRate(); },
+                    "counter cache hit rate", "counter_cache_hit_rate");
+        scope.gauge("dirty_evictions",
+                    [this] {
+                        return static_cast<double>(dirtyEvictions());
+                    },
+                    "dirty counter blocks written back on eviction");
+        scope.gauge("region_lines",
+                    [this] { return static_cast<double>(regionLines()); },
+                    "NVM lines the counter table spans");
+        scope.gauge("energy_pj",
+                    [this] { return static_cast<double>(totalEnergy()); },
+                    "SRAM accesses plus counter AES energy");
+    }
+
   private:
     /** Counters per NVM line: 2048 bits / 32-bit counter slots. */
     static constexpr std::uint64_t kEntriesPerLine = kLineBits / 32;

@@ -282,4 +282,46 @@ MetadataCache::regionLines() const
     return total;
 }
 
+void
+MetadataCache::registerMetrics(obs::MetricRegistry::Scope scope) const
+{
+    scope.counter("fill_reads", fillReads_,
+                  "NVM line reads issued for metadata fills",
+                  "metadata_fill_reads");
+    scope.counter("writebacks", writebacks_,
+                  "NVM line writes issued for metadata writebacks",
+                  "metadata_writebacks");
+    scope.gauge("energy_pj",
+                [this] { return static_cast<double>(totalEnergy()); },
+                "SRAM accesses plus metadata AES energy");
+    scope.gauge("region_lines",
+                [this] { return static_cast<double>(regionLines()); },
+                "NVM lines the metadata region occupies");
+
+    struct TableName
+    {
+        MetadataTable table;
+        const char *name;
+        const char *legacyHit;
+    };
+    static constexpr TableName kTables[] = {
+        { MetadataTable::Mapping, "mapping", "hit_rate_mapping" },
+        { MetadataTable::InvertedHash, "inverted_hash",
+          "hit_rate_inverted_hash" },
+        { MetadataTable::HashStore, "hash_store", "hit_rate_hash_store" },
+        { MetadataTable::Fsm, "fsm", "hit_rate_fsm" },
+    };
+    for (const TableName &t : kTables) {
+        obs::MetricRegistry::Scope part = scope.scope(t.name);
+        part.gauge("hit_rate",
+                   [this, table = t.table] { return hitRate(table); },
+                   "partition hit rate", t.legacyHit);
+        part.gauge("dirty_evictions",
+                   [this, table = t.table] {
+                       return static_cast<double>(dirtyEvictions(table));
+                   },
+                   "dirty blocks written back on eviction");
+    }
+}
+
 } // namespace dewrite

@@ -26,6 +26,7 @@
 #include "cache/set_assoc_cache.hh"
 #include "common/timing.hh"
 #include "common/types.hh"
+#include "obs/metric_registry.hh"
 
 namespace dewrite {
 
@@ -114,6 +115,14 @@ class MetadataCache
 
     /** Writes back every dirty block (models a clean shutdown/ADR). */
     void flushAll(Time now);
+
+    /**
+     * Registers cache traffic metrics under @p scope (canonically
+     * "cache.metadata"): fills, writebacks, per-partition hit rates
+     * and dirty evictions. Legacy names keep the historical DeWrite
+     * StatSet keys (metadata_writebacks, hit_rate_mapping, ...).
+     */
+    void registerMetrics(obs::MetricRegistry::Scope scope) const;
 
   private:
     struct Partition

@@ -1,26 +1,90 @@
 /**
  * @file
  * Logging implementation.
+ *
+ * Thread safety: the old implementation issued three fprintf calls per
+ * report, so two runner workers warning at once could interleave
+ * fragments. Each report is now formatted into a private buffer and
+ * handed to fwrite once, with a process-wide mutex serializing the
+ * write (stdio's own locking only covers single calls).
  */
 
 #include "common/logging.hh"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
 
 namespace dewrite {
 
 namespace {
 
+std::mutex reportMutex;
+
 void
 vreport(const char *prefix, const char *fmt, std::va_list args)
 {
-    std::fprintf(stderr, "%s: ", prefix);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    // Probe pass sizes the message (va_list must be copied — the
+    // second vsnprintf needs a fresh traversal).
+    std::va_list sizing;
+    va_copy(sizing, args);
+    const int body = std::vsnprintf(nullptr, 0, fmt, sizing);
+    va_end(sizing);
+    if (body < 0)
+        return;
+
+    std::string line(prefix);
+    line += ": ";
+    const std::size_t head = line.size();
+    line.resize(head + static_cast<std::size_t>(body) + 1);
+    std::vsnprintf(line.data() + head,
+                   static_cast<std::size_t>(body) + 1, fmt, args);
+    line.back() = '\n';
+
+    std::lock_guard lock(reportMutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
 }
 
 } // namespace
+
+bool
+parseLogLevel(const char *text, LogLevel &out)
+{
+    if (!text)
+        return false;
+    if (std::strcmp(text, "quiet") == 0)
+        out = LogLevel::Quiet;
+    else if (std::strcmp(text, "normal") == 0)
+        out = LogLevel::Normal;
+    else if (std::strcmp(text, "verbose") == 0)
+        out = LogLevel::Verbose;
+    else
+        return false;
+    return true;
+}
+
+LogLevel
+logLevel()
+{
+    // Latched on first use; fatal() on a malformed value rather than
+    // silently running at the wrong verbosity (same contract as
+    // DEWRITE_EVENTS / DEWRITE_THREADS).
+    static const LogLevel level = [] {
+        LogLevel parsed = LogLevel::Normal;
+        if (const char *env = std::getenv("DEWRITE_LOG")) {
+            if (!parseLogLevel(env, parsed)) {
+                fatal("DEWRITE_LOG=\"%s\" is not one of "
+                      "quiet/normal/verbose",
+                      env);
+            }
+        }
+        return parsed;
+    }();
+    return level;
+}
 
 void
 panic(const char *fmt, ...)
@@ -54,9 +118,22 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
+    if (logLevel() == LogLevel::Quiet)
+        return;
     std::va_list args;
     va_start(args, fmt);
     vreport("info", fmt, args);
+    va_end(args);
+}
+
+void
+verbose(const char *fmt, ...)
+{
+    if (logLevel() != LogLevel::Verbose)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    vreport("debug", fmt, args);
     va_end(args);
 }
 

@@ -5,7 +5,10 @@
 
 #include "controller/dewrite_controller.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "obs/trace_ring.hh"
 
 namespace dewrite {
 
@@ -73,6 +76,7 @@ DeWriteController::write(LineAddr addr, const Line &data, Time now)
     DetectOutcome det;
     Time encrypt_ready = 0;
     bool speculative_encryption = false;
+    std::int8_t predicted_dup = -1; //!< Trace: -1 no prediction made.
 
     switch (options_.mode) {
       case DedupMode::Direct:
@@ -95,7 +99,8 @@ DeWriteController::write(LineAddr addr, const Line &data, Time now)
         break;
 
       case DedupMode::Predicted:
-        if (predictor_.predictDuplicate()) {
+        predicted_dup = predictor_.predictDuplicate() ? 1 : 0;
+        if (predicted_dup) {
             // Predicted duplicate: direct path, and the PNA scheme
             // allows the in-NVM hash-table query.
             det = engine_.detect(data, now, /*allow_nvm_fill=*/true);
@@ -129,6 +134,25 @@ DeWriteController::write(LineAddr addr, const Line &data, Time now)
     // which path scheduled it (its accuracy stat backs Figure 4).
     predictor_.recordAndScore(det.duplicate);
 
+    if (tracer_) [[unlikely]] {
+        obs::WriteEvent ev;
+        ev.issue = now;
+        ev.done = commit.done;
+        ev.addr = addr;
+        ev.hash = static_cast<std::uint32_t>(det.hash);
+        ev.path = speculative_encryption ? obs::WritePath::Parallel
+                                         : obs::WritePath::Direct;
+        ev.predictedDup = predicted_dup;
+        ev.duplicate = det.duplicate;
+        ev.authoritative = det.authoritative;
+        ev.wroteLine = commit.wroteLine;
+        ev.reencrypted = commit.reencrypted;
+        ev.home = engine_.counterHome(commit.slot);
+        ev.confirmReads = static_cast<std::uint8_t>(
+            std::min(det.confirmReads, 255u));
+        tracer_->record(ev);
+    }
+
     const Time latency = commit.done - now;
     noteWrite(latency, det.duplicate, commit.bitsProgrammed);
     return { latency, det.duplicate };
@@ -153,41 +177,24 @@ DeWriteController::controllerEnergy() const
 }
 
 void
-DeWriteController::fillStats(StatSet &stats) const
+DeWriteController::registerSchemeMetrics(obs::MetricRegistry &registry)
+    const
 {
-    stats.set("writes", static_cast<double>(writeRequests()));
-    stats.set("reads", static_cast<double>(readRequests()));
-    stats.set("writes_eliminated",
-              static_cast<double>(writesEliminated()));
-    stats.set("duplicate_commits",
-              static_cast<double>(engine_.duplicateCommits()));
-    stats.set("unique_commits",
-              static_cast<double>(engine_.uniqueCommits()));
-    stats.set("silent_stores", static_cast<double>(engine_.silentStores()));
-    stats.set("collision_mismatches",
-              static_cast<double>(engine_.collisionMismatches()));
-    stats.set("missed_by_pna", static_cast<double>(engine_.missedByPna()));
-    stats.set("missed_by_saturation",
-              static_cast<double>(engine_.missedBySaturation()));
-    stats.set("reencryptions", static_cast<double>(engine_.reencryptions()));
-    stats.set("unsafe_corruptions",
-              static_cast<double>(engine_.unsafeCorruptions()));
-    stats.set("wasted_encryptions",
-              static_cast<double>(wastedEncryptions()));
-    stats.set("prediction_accuracy", predictor_.accuracy());
-    stats.set("overflow_counters",
-              static_cast<double>(engine_.overflowCounters()));
-    stats.set("metadata_writebacks",
-              static_cast<double>(metadata_.nvmWritebacks()));
-    stats.set("metadata_fill_reads",
-              static_cast<double>(metadata_.nvmFillReads()));
-    stats.set("hit_rate_mapping",
-              metadata_.hitRate(MetadataTable::Mapping));
-    stats.set("hit_rate_inverted_hash",
-              metadata_.hitRate(MetadataTable::InvertedHash));
-    stats.set("hit_rate_hash_store",
-              metadata_.hitRate(MetadataTable::HashStore));
-    stats.set("hit_rate_fsm", metadata_.hitRate(MetadataTable::Fsm));
+    // The historical flat StatSet exported writes_eliminated only for
+    // DeWrite; the canonical path is registered by the base class.
+    registry.aliasLegacy("controller.writes_eliminated",
+                         "writes_eliminated");
+
+    obs::MetricRegistry::Scope c = registry.scope("controller");
+    c.counter("wasted_encryptions", wastedEncryptions_,
+              "speculative ciphertexts discarded on duplicates",
+              "wasted_encryptions");
+    c.counter("encryptions_started", encryptionsStarted_,
+              "data-line encryptions launched (useful or wasted)");
+
+    engine_.registerMetrics(registry.scope("controller.dedup"));
+    predictor_.registerMetrics(registry.scope("controller.predictor"));
+    metadata_.registerMetrics(registry.scope("cache.metadata"));
 }
 
 } // namespace dewrite

@@ -74,7 +74,6 @@ class DeWriteController : public MemController
 
     std::string name() const override;
     Energy controllerEnergy() const override;
-    void fillStats(StatSet &stats) const override;
 
     /** @{ Component access for tests and experiment harnesses. */
     const DedupEngine &engine() const { return engine_; }
@@ -93,6 +92,10 @@ class DeWriteController : public MemController
     {
         return encryptionsStarted_.value();
     }
+
+  protected:
+    void registerSchemeMetrics(obs::MetricRegistry &registry)
+        const override;
 
   private:
     /** Charges one line encryption's energy and counts it. */

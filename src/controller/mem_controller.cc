@@ -1,0 +1,49 @@
+/**
+ * @file
+ * MemController shared metric registration.
+ *
+ * The common request accounting registers under "controller.*"; each
+ * scheme adds its own metrics (and the legacy StatSet aliases that
+ * keep the historical flat names stable) in registerSchemeMetrics().
+ */
+
+#include "controller/mem_controller.hh"
+
+namespace dewrite {
+
+void
+MemController::registerMetrics(obs::MetricRegistry &registry) const
+{
+    obs::MetricRegistry::Scope c = registry.scope("controller");
+    c.counter("write_requests", writeRequests_, "write-backs received",
+              "writes");
+    c.counter("read_requests", readRequests_, "fetches received",
+              "reads");
+    c.counter("writes_eliminated", writesEliminated_,
+              "duplicate writes never programmed");
+    c.counter("data_bits_programmed", dataBitsProgrammed_,
+              "cells programmed by data writes");
+    c.accumulator("write_latency_ps", writeLatency_,
+                  "write-back latency (mean)");
+    c.accumulator("read_latency_ps", readLatency_,
+                  "fetch latency (mean)");
+    c.gauge("energy_pj",
+            [this] { return static_cast<double>(controllerEnergy()); },
+            "controller-side energy");
+    registerSchemeMetrics(registry);
+}
+
+void
+MemController::registerSchemeMetrics(obs::MetricRegistry &) const
+{
+}
+
+void
+MemController::fillStats(StatSet &stats) const
+{
+    obs::MetricRegistry registry;
+    registerMetrics(registry);
+    registry.fillStatSet(stats);
+}
+
+} // namespace dewrite

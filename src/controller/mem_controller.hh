@@ -17,8 +17,13 @@
 #include "common/line.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/metric_registry.hh"
 
 namespace dewrite {
+
+namespace obs {
+class WriteTracer;
+} // namespace obs
 
 /** Outcome of a write request. */
 struct CtrlWriteResult
@@ -57,8 +62,29 @@ class MemController
      */
     virtual Energy controllerEnergy() const = 0;
 
-    /** Exports scheme-specific statistics. */
-    virtual void fillStats(StatSet &stats) const = 0;
+    /**
+     * Registers every metric the controller exposes — the common
+     * request accounting under "controller.*" plus whatever the scheme
+     * adds via registerSchemeMetrics() — into @p registry. The System
+     * calls this once at wiring time; harnesses may also call it on a
+     * scratch registry to snapshot a controller in isolation.
+     */
+    void registerMetrics(obs::MetricRegistry &registry) const;
+
+    /**
+     * Legacy flat view: fills @p stats with the historical per-scheme
+     * StatSet keys (a registry-backed compatibility shim — same names
+     * and values the schemes used to hand-write).
+     */
+    void fillStats(StatSet &stats) const;
+
+    /**
+     * Attaches (or detaches, with nullptr) the write-pipeline event
+     * tracer. Non-owning; the caller keeps the tracer alive across the
+     * run. Controllers record one event per serviced write when a
+     * tracer is attached.
+     */
+    void attachTracer(obs::WriteTracer *tracer) { tracer_ = tracer; }
 
     /** @{ Aggregate request accounting common to all schemes. */
     std::uint64_t writeRequests() const { return writeRequests_.value(); }
@@ -78,6 +104,16 @@ class MemController
     /** @} */
 
   protected:
+    /**
+     * Scheme-specific additions to registerMetrics(): subclasses
+     * register their own counters/gauges (and legacy StatSet aliases)
+     * under nested scopes. The default registers nothing.
+     */
+    virtual void registerSchemeMetrics(obs::MetricRegistry &registry) const;
+
+    /** Attached event tracer, or null (the common case). */
+    obs::WriteTracer *tracer_ = nullptr;
+
     /** Subclasses record every request through these. */
     void
     noteWrite(Time latency, bool eliminated, std::size_t bits_programmed)

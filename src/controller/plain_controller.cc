@@ -28,11 +28,4 @@ PlainController::read(LineAddr addr, Time now)
     return result;
 }
 
-void
-PlainController::fillStats(StatSet &stats) const
-{
-    stats.set("writes", static_cast<double>(writeRequests()));
-    stats.set("reads", static_cast<double>(readRequests()));
-}
-
 } // namespace dewrite

@@ -26,7 +26,6 @@ class PlainController : public MemController
 
     std::string name() const override { return "plain-nvm"; }
     Energy controllerEnergy() const override { return 0; }
-    void fillStats(StatSet &stats) const override;
 
   private:
     NvmDevice &device_;

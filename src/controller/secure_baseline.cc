@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "obs/trace_ring.hh"
+
 namespace dewrite {
 
 SecureBaselineController::SecureBaselineController(
@@ -54,6 +56,14 @@ SecureBaselineController::write(LineAddr addr, const Line &data, Time now)
         // Shredding: a zero-line write completes in metadata only.
         zeros_.markZeroed(addr);
         const Time latency = counter_ready - now;
+        if (tracer_) [[unlikely]] {
+            obs::WriteEvent ev;
+            ev.issue = now;
+            ev.done = counter_ready;
+            ev.addr = addr;
+            ev.duplicate = true; //!< Eliminated (shredded) write.
+            tracer_->record(ev);
+        }
         noteWrite(latency, true, 0);
         return { latency, true };
     }
@@ -68,6 +78,14 @@ SecureBaselineController::write(LineAddr addr, const Line &data, Time now)
         device_.write(addr, ciphertext, ciphertext_ready, bits);
 
     const Time latency = access.complete - now;
+    if (tracer_) [[unlikely]] {
+        obs::WriteEvent ev;
+        ev.issue = now;
+        ev.done = access.complete;
+        ev.addr = addr;
+        ev.wroteLine = true;
+        tracer_->record(ev);
+    }
     noteWrite(latency, false, bits);
     return { latency, false };
 }
@@ -113,13 +131,20 @@ SecureBaselineController::controllerEnergy() const
 }
 
 void
-SecureBaselineController::fillStats(StatSet &stats) const
+SecureBaselineController::registerSchemeMetrics(
+    obs::MetricRegistry &registry) const
 {
-    stats.set("counter_cache_hit_rate", counterCache_.hitRate());
-    stats.set("shredded_writes",
-              static_cast<double>(zeros_.eliminatedWrites()));
-    stats.set("writes", static_cast<double>(writeRequests()));
-    stats.set("reads", static_cast<double>(readRequests()));
+    counterCache_.registerMetrics(registry.scope("cache.counter"));
+
+    obs::MetricRegistry::Scope shredder =
+        registry.scope("controller.shredder");
+    shredder.gauge("shredded_writes",
+                   [this] {
+                       return static_cast<double>(
+                           zeros_.eliminatedWrites());
+                   },
+                   "zero-line writes eliminated in metadata",
+                   "shredded_writes");
 }
 
 } // namespace dewrite

@@ -79,6 +79,55 @@ DedupEngine::setCounterOf(LineAddr slot, std::uint64_t counter)
     }
 }
 
+obs::CounterHome
+DedupEngine::counterHome(LineAddr slot) const
+{
+    if (slot == kInvalidAddr)
+        return obs::CounterHome::None;
+    if (!mapping_.isRemapped(slot))
+        return obs::CounterHome::Mapping;
+    if (!invHash_.holdsData(slot))
+        return obs::CounterHome::InvertedHash;
+    return obs::CounterHome::Overflow;
+}
+
+void
+DedupEngine::registerMetrics(obs::MetricRegistry::Scope scope) const
+{
+    scope.counter("duplicate_commits", dupCommits_,
+                  "writes committed as duplicates", "duplicate_commits");
+    scope.counter("unique_commits", uniqueCommits_,
+                  "writes committed as unique lines", "unique_commits");
+    scope.counter("silent_stores", silentStores_,
+                  "writes identical to their own slot", "silent_stores");
+    scope.counter("collision_mismatches", collisionMismatches_,
+                  "fingerprint matches refuted by the confirmation read",
+                  "collision_mismatches");
+    scope.counter("missed_by_pna", missedByPna_,
+                  "duplicates missed because PNA skipped the NVM query",
+                  "missed_by_pna");
+    scope.counter("missed_by_saturation", missedBySaturation_,
+                  "duplicates missed on saturated reference counts",
+                  "missed_by_saturation");
+    scope.counter("reencryptions", reencryptions_,
+                  "optimistic ciphertexts discarded and redone",
+                  "reencryptions");
+    scope.counter("unsafe_corruptions", unsafeCorruptions_,
+                  "collisions trusted without confirmation (ablation)",
+                  "unsafe_corruptions");
+    scope.counter("counter_wraps", counterWraps_,
+                  "minor-counter wraps absorbed by major counters");
+    scope.gauge("overflow_counters",
+                [this] {
+                    return static_cast<double>(overflowCounters());
+                },
+                "slot counters homeless in both tables",
+                "overflow_counters");
+    scope.gauge("energy_pj",
+                [this] { return static_cast<double>(totalEnergy()); },
+                "dedup logic + engine-issued AES energy");
+}
+
 std::uint64_t
 DedupEngine::effectiveCounter(LineAddr slot) const
 {

@@ -36,6 +36,8 @@
 #include "controller/bitlevel/bitflip.hh"
 #include "crypto/counter_mode.hh"
 #include "dedup/fingerprint.hh"
+#include "obs/metric_registry.hh"
+#include "obs/trace_ring.hh"
 #include "dedup/address_mapping.hh"
 #include "dedup/free_space.hh"
 #include "dedup/hash_store.hh"
@@ -180,6 +182,19 @@ class DedupEngine
 
     /** Slots whose counter had to spill outside both tables. */
     std::size_t overflowCounters() const { return overflow_.size(); }
+
+    /**
+     * Where slot @p slot's encryption counter is currently embedded
+     * (Section III-C colocation) — the per-write trace records this.
+     */
+    obs::CounterHome counterHome(LineAddr slot) const;
+
+    /**
+     * Registers the engine's event counters and derived gauges under
+     * @p scope (canonically "controller.dedup"). Legacy names preserve
+     * the historical DeWrite StatSet keys.
+     */
+    void registerMetrics(obs::MetricRegistry::Scope scope) const;
 
     /** The fingerprint function in use. */
     const Fingerprinter &fingerprinter() const { return fingerprinter_; }

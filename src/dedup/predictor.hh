@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "common/stats.hh"
+#include "obs/metric_registry.hh"
 
 namespace dewrite {
 
@@ -46,6 +47,22 @@ class DupPredictor
 
     /** Fraction of scored predictions that matched the outcome. */
     double accuracy() const;
+
+    /**
+     * Registers prediction metrics under @p scope (canonically
+     * "controller.predictor"); the accuracy gauge keeps the legacy
+     * "prediction_accuracy" StatSet key.
+     */
+    void registerMetrics(obs::MetricRegistry::Scope scope) const
+    {
+        scope.counter("predictions", predictions_,
+                      "scored duplication-state predictions");
+        scope.counter("correct", correct_,
+                      "predictions matching the resolved state");
+        scope.gauge("accuracy", [this] { return accuracy(); },
+                    "fraction of predictions that were correct",
+                    "prediction_accuracy");
+    }
 
   private:
     unsigned historyBits_;

@@ -115,4 +115,25 @@ NvmDevice::numBanks() const
     return static_cast<unsigned>(banks_.size());
 }
 
+void
+NvmDevice::registerMetrics(obs::MetricRegistry::Scope scope) const
+{
+    scope.counter("num_reads", numReads_, "NVM line reads serviced");
+    scope.counter("num_writes", numWrites_,
+                  "NVM line writes serviced (incl. background)");
+    scope.counter("background_writes", numBackgroundWrites_,
+                  "lazily scheduled metadata writes");
+    scope.counter("row_buffer_hits", rowHits_,
+                  "reads served from an open row");
+    scope.gauge("total_energy_pj",
+                [this] { return static_cast<double>(totalEnergy()); },
+                "array energy");
+    scope.gauge("queue_delay_ps",
+                [this] {
+                    return static_cast<double>(totalQueueDelay());
+                },
+                "cumulative bank waiting time");
+    wear_.registerMetrics(scope.scope("wear"));
+}
+
 } // namespace dewrite

@@ -96,6 +96,13 @@ class NvmDevice
     const NvmBank &bank(unsigned index) const { return banks_[index]; }
     unsigned numBanks() const;
 
+    /**
+     * Registers device metrics (traffic, energy, queueing, wear) under
+     * @p scope (canonically "device"). Metric names match the
+     * historical dumpStats keys (num_reads, num_writes, ...).
+     */
+    void registerMetrics(obs::MetricRegistry::Scope scope) const;
+
   private:
     /** Row the access maps to, for row-buffer tracking. */
     std::uint64_t rowOf(const DecodedAddr &where) const;

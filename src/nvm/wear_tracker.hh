@@ -16,6 +16,7 @@
 
 #include "common/paged_array.hh"
 #include "common/types.hh"
+#include "obs/metric_registry.hh"
 
 namespace dewrite {
 
@@ -51,6 +52,32 @@ class WearTracker
      */
     double relativeLifetime(std::uint64_t cell_endurance,
                             std::uint64_t leveled_lines) const;
+
+    /** Registers wear metrics under @p scope (canonically
+     * "device.wear"). */
+    void registerMetrics(obs::MetricRegistry::Scope scope) const
+    {
+        scope.gauge("total_writes",
+                    [this] {
+                        return static_cast<double>(totalWrites());
+                    },
+                    "line writes charged to cells");
+        scope.gauge("total_bits_written",
+                    [this] {
+                        return static_cast<double>(totalBitsWritten());
+                    },
+                    "cell-bit writes charged");
+        scope.gauge("max_line_writes",
+                    [this] {
+                        return static_cast<double>(maxLineWrites());
+                    },
+                    "hottest line's write count");
+        scope.gauge("lines_touched",
+                    [this] {
+                        return static_cast<double>(linesTouched());
+                    },
+                    "distinct lines ever written");
+    }
 
   private:
     PagedArray<std::uint64_t> lineWrites_;

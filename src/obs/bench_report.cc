@@ -1,0 +1,54 @@
+/**
+ * @file
+ * BenchReport implementation.
+ */
+
+#include "obs/bench_report.hh"
+
+#include "common/logging.hh"
+
+namespace dewrite::obs {
+
+BenchReport::BenchReport(const std::string &name,
+                         std::uint64_t events_per_cell, unsigned threads)
+    : path_("BENCH_" + name + ".json")
+{
+    file_ = std::fopen(path_.c_str(), "w");
+    if (!file_) {
+        warn("cannot open %s for writing", path_.c_str());
+        // Writers keep working against a scratch sink so benches can
+        // stream unconditionally; close() still reports the failure.
+        writer_ = std::make_unique<JsonWriter>(&scratch_);
+        writer_->beginObject();
+        return;
+    }
+    writer_ = std::make_unique<JsonWriter>(file_);
+    writer_->beginObject();
+    writer_->field("bench", name);
+    writer_->field("schema_version", kBenchSchemaVersion);
+    writer_->field("events_per_cell", events_per_cell);
+    writer_->field("threads", threads);
+}
+
+BenchReport::~BenchReport()
+{
+    if (file_)
+        close();
+}
+
+bool
+BenchReport::close()
+{
+    if (!file_) {
+        writer_.reset();
+        return false;
+    }
+    writer_->endObject();
+    const bool wrote_ok = writer_->ok() && writer_->depth() == 0;
+    writer_.reset();
+    const bool closed_ok = std::fclose(file_) == 0;
+    file_ = nullptr;
+    return wrote_ok && closed_ok;
+}
+
+} // namespace dewrite::obs

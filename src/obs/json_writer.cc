@@ -1,0 +1,258 @@
+/**
+ * @file
+ * JsonWriter implementation.
+ */
+
+#include "obs/json_writer.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstring>
+
+namespace dewrite::obs {
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c; // UTF-8 passes through untouched.
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(std::FILE *out, bool pretty)
+    : file_(out), pretty_(pretty), failed_(out == nullptr)
+{
+}
+
+JsonWriter::JsonWriter(std::string *out, bool pretty)
+    : sink_(out), pretty_(pretty), failed_(out == nullptr)
+{
+}
+
+void
+JsonWriter::raw(std::string_view text)
+{
+    if (failed_)
+        return;
+    if (file_) {
+        if (std::fwrite(text.data(), 1, text.size(), file_) != text.size())
+            failed_ = true;
+    } else {
+        sink_->append(text);
+    }
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (!pretty_)
+        return;
+    raw("\n");
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        raw("  ");
+}
+
+void
+JsonWriter::separate(bool is_key_or_element)
+{
+    if (stack_.empty())
+        return;
+    auto &[frame, count] = stack_.back();
+    // Inside an object only keys separate; a value right after its key
+    // follows the pending ": ".
+    if (frame == Frame::Object && !is_key_or_element)
+        return;
+    if (count > 0)
+        raw(",");
+    ++count;
+    newlineIndent();
+}
+
+void
+JsonWriter::beginObject()
+{
+    if (keyPending_)
+        keyPending_ = false;
+    else
+        separate(true);
+    raw("{");
+    stack_.emplace_back(Frame::Object, 0);
+}
+
+void
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back().first != Frame::Object ||
+        keyPending_) {
+        failed_ = true;
+        return;
+    }
+    const bool had_members = stack_.back().second > 0;
+    stack_.pop_back();
+    if (had_members)
+        newlineIndent();
+    raw("}");
+}
+
+void
+JsonWriter::beginArray()
+{
+    if (keyPending_)
+        keyPending_ = false;
+    else
+        separate(true);
+    raw("[");
+    stack_.emplace_back(Frame::Array, 0);
+}
+
+void
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back().first != Frame::Array ||
+        keyPending_) {
+        failed_ = true;
+        return;
+    }
+    const bool had_elements = stack_.back().second > 0;
+    stack_.pop_back();
+    if (had_elements)
+        newlineIndent();
+    raw("]");
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    if (stack_.empty() || stack_.back().first != Frame::Object ||
+        keyPending_) {
+        failed_ = true;
+        return;
+    }
+    separate(true);
+    raw("\"");
+    raw(jsonEscape(name));
+    raw(pretty_ ? "\": " : "\":");
+    keyPending_ = true;
+}
+
+void
+JsonWriter::value(std::string_view text)
+{
+    if (keyPending_)
+        keyPending_ = false;
+    else
+        separate(true);
+    raw("\"");
+    raw(jsonEscape(text));
+    raw("\"");
+}
+
+void
+JsonWriter::value(double number)
+{
+    if (!std::isfinite(number)) {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        valueNull();
+        return;
+    }
+    // The precision-free overload produces the shortest representation
+    // that round-trips the exact double.
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof buf, number);
+    if (keyPending_)
+        keyPending_ = false;
+    else
+        separate(true);
+    raw(std::string_view(buf, static_cast<std::size_t>(res.ptr - buf)));
+}
+
+void
+JsonWriter::value(std::uint64_t number)
+{
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof buf, number);
+    if (keyPending_)
+        keyPending_ = false;
+    else
+        separate(true);
+    raw(std::string_view(buf, static_cast<std::size_t>(res.ptr - buf)));
+}
+
+void
+JsonWriter::value(std::int64_t number)
+{
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof buf, number);
+    if (keyPending_)
+        keyPending_ = false;
+    else
+        separate(true);
+    raw(std::string_view(buf, static_cast<std::size_t>(res.ptr - buf)));
+}
+
+void
+JsonWriter::value(bool flag)
+{
+    if (keyPending_)
+        keyPending_ = false;
+    else
+        separate(true);
+    raw(flag ? "true" : "false");
+}
+
+void
+JsonWriter::valueNull()
+{
+    if (keyPending_)
+        keyPending_ = false;
+    else
+        separate(true);
+    raw("null");
+}
+
+bool
+JsonWriter::ok() const
+{
+    if (failed_ || keyPending_)
+        return false;
+    if (file_ && std::ferror(file_))
+        return false;
+    return true;
+}
+
+} // namespace dewrite::obs

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Streaming JSON writer with correct string escaping.
+ *
+ * Every bench and exporter used to hand-roll fprintf JSON, which broke
+ * the moment a scheme name contained a quote and silently ignored
+ * write errors. JsonWriter centralizes both concerns: it tracks the
+ * container nesting (commas and indentation are automatic), escapes
+ * every string it emits, and latches stream errors so callers can turn
+ * a failed write into a non-zero exit code instead of a truncated file.
+ *
+ * The writer targets either a FILE* or an in-memory std::string (for
+ * tests and for building sub-documents). It is deliberately
+ * append-only — no DOM, no allocation proportional to the document —
+ * so exporters can stream arbitrarily long traces.
+ */
+
+#ifndef DEWRITE_OBS_JSON_WRITER_HH
+#define DEWRITE_OBS_JSON_WRITER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dewrite::obs {
+
+/** Returns @p text with JSON string escaping applied (no quotes added). */
+std::string jsonEscape(std::string_view text);
+
+class JsonWriter
+{
+  public:
+    /** Streams to @p out; the caller keeps ownership of the FILE. */
+    explicit JsonWriter(std::FILE *out, bool pretty = true);
+
+    /** Appends to @p out (kept alive by the caller). */
+    explicit JsonWriter(std::string *out, bool pretty = true);
+
+    /** @{ Containers. Every begin must be matched before finishing. */
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+    /** @} */
+
+    /** Emits an object key; must be followed by a value or container. */
+    void key(std::string_view name);
+
+    /** @{ Scalar values (escaped / canonically formatted). */
+    void value(std::string_view text);
+    void value(const char *text) { value(std::string_view(text)); }
+    void value(double number);
+    void value(std::uint64_t number);
+    void value(std::int64_t number);
+    void value(int number) { value(static_cast<std::int64_t>(number)); }
+    void value(unsigned number)
+    {
+        value(static_cast<std::uint64_t>(number));
+    }
+    void value(bool flag);
+    void valueNull();
+    /** @} */
+
+    /** @{ key + value in one call. */
+    template <typename T>
+    void field(std::string_view name, T v)
+    {
+        key(name);
+        value(v);
+    }
+    /** @} */
+
+    /**
+     * True while no stream error has been observed and the document is
+     * structurally sound (balanced when all containers are closed).
+     */
+    bool ok() const;
+
+    /** Depth of currently open containers. */
+    std::size_t depth() const { return stack_.size(); }
+
+  private:
+    enum class Frame : std::uint8_t { Object, Array };
+
+    void raw(std::string_view text);
+    void separate(bool is_key_or_element);
+    void newlineIndent();
+
+    std::FILE *file_ = nullptr;
+    std::string *sink_ = nullptr;
+    bool pretty_;
+    bool failed_ = false;
+    bool keyPending_ = false;
+    std::vector<std::pair<Frame, std::size_t>> stack_;
+};
+
+} // namespace dewrite::obs
+
+#endif // DEWRITE_OBS_JSON_WRITER_HH

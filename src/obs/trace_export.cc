@@ -1,0 +1,136 @@
+/**
+ * @file
+ * WriteTracer exporters.
+ */
+
+#include "obs/trace_export.hh"
+
+#include "obs/json_writer.hh"
+
+namespace dewrite::obs {
+
+namespace {
+
+/** Simulated picoseconds to Chrome-trace microseconds. */
+double
+toTraceUs(Time ps)
+{
+    return static_cast<double>(ps) / 1e6;
+}
+
+/** Track id per encryption path (Perfetto renders one lane each). */
+int
+pathTid(WritePath path)
+{
+    return path == WritePath::Direct ? 1 : 2;
+}
+
+void
+writeThreadName(JsonWriter &w, int tid, const char *name)
+{
+    w.beginObject();
+    w.field("name", "thread_name");
+    w.field("ph", "M");
+    w.field("pid", 1);
+    w.field("tid", tid);
+    w.key("args");
+    w.beginObject();
+    w.field("name", name);
+    w.endObject();
+    w.endObject();
+}
+
+void
+writeEpochObject(JsonWriter &w, const EpochSnapshot &epoch)
+{
+    w.beginObject();
+    w.field("epoch", epoch.epoch);
+    w.field("events", epoch.events);
+    w.field("duplicates", epoch.duplicates);
+    w.field("predictions", epoch.predictions);
+    w.field("correct_predictions", epoch.correctPredictions);
+    w.field("overflows", epoch.overflows);
+    w.field("write_reduction", epoch.writeReduction());
+    w.field("prediction_accuracy", epoch.predictionAccuracy());
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeChromeTrace(const WriteTracer &tracer, JsonWriter &w,
+                 const std::string &label)
+{
+    w.beginObject();
+    w.field("displayTimeUnit", "ns");
+
+    w.key("otherData");
+    w.beginObject();
+    w.field("label", label);
+    w.field("events_recorded", tracer.recorded());
+    w.field("events_retained", static_cast<std::uint64_t>(tracer.size()));
+    w.field("events_dropped", tracer.dropped());
+    w.endObject();
+
+    w.key("traceEvents");
+    w.beginArray();
+
+    // Process/track naming metadata first.
+    w.beginObject();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", 1);
+    w.field("tid", 0);
+    w.key("args");
+    w.beginObject();
+    w.field("name", label);
+    w.endObject();
+    w.endObject();
+    writeThreadName(w, pathTid(WritePath::Direct), "direct path");
+    writeThreadName(w, pathTid(WritePath::Parallel), "parallel path");
+
+    for (std::size_t i = 0; i < tracer.size(); ++i) {
+        const WriteEvent &ev = tracer.event(i);
+        w.beginObject();
+        w.field("name", ev.duplicate ? "dup-write" : "unique-write");
+        w.field("cat", "write");
+        w.field("ph", "X");
+        w.field("ts", toTraceUs(ev.issue));
+        w.field("dur", toTraceUs(ev.done - ev.issue));
+        w.field("pid", 1);
+        w.field("tid", pathTid(ev.path));
+        w.key("args");
+        w.beginObject();
+        w.field("seq", ev.seq);
+        w.field("addr", static_cast<std::uint64_t>(ev.addr));
+        w.field("hash", static_cast<std::uint64_t>(ev.hash));
+        w.field("path", writePathName(ev.path));
+        if (ev.predictedDup >= 0)
+            w.field("predicted_dup", ev.predictedDup != 0);
+        w.field("duplicate", ev.duplicate);
+        w.field("authoritative", ev.authoritative);
+        w.field("wrote_line", ev.wroteLine);
+        w.field("reencrypted", ev.reencrypted);
+        w.field("counter_home", counterHomeName(ev.home));
+        w.field("confirm_reads",
+                static_cast<std::uint64_t>(ev.confirmReads));
+        w.endObject();
+        w.endObject();
+    }
+
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeEpochSeries(const WriteTracer &tracer, JsonWriter &w)
+{
+    w.beginArray();
+    for (const EpochSnapshot &epoch : tracer.epochs())
+        writeEpochObject(w, epoch);
+    if (tracer.currentEpoch().events > 0)
+        writeEpochObject(w, tracer.currentEpoch());
+    w.endArray();
+}
+
+} // namespace dewrite::obs

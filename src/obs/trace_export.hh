@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Exporters for WriteTracer contents.
+ *
+ * writeChromeTrace() emits the Chrome trace-event JSON format, which
+ * Perfetto (https://ui.perfetto.dev) and chrome://tracing load
+ * directly: every retained write is a complete ("X") slice on a track
+ * per encryption path, with the pipeline decisions in args. Simulated
+ * picoseconds map to trace microseconds.
+ *
+ * writeEpochSeries() emits the epoch time series (write reduction and
+ * prediction accuracy per epoch) as a JSON array, the machine-readable
+ * companion to the paper's aggregate claims.
+ */
+
+#ifndef DEWRITE_OBS_TRACE_EXPORT_HH
+#define DEWRITE_OBS_TRACE_EXPORT_HH
+
+#include <string>
+
+#include "obs/trace_ring.hh"
+
+namespace dewrite::obs {
+
+class JsonWriter;
+
+/**
+ * Writes a complete Chrome/Perfetto trace document for @p tracer.
+ * @p label names the process track (e.g. "bzip2/dewrite-predicted").
+ * The writer must be positioned at the top level (no open containers).
+ */
+void writeChromeTrace(const WriteTracer &tracer, JsonWriter &w,
+                      const std::string &label);
+
+/**
+ * Writes the epoch time series as a JSON array of objects (completed
+ * epochs first, then the in-progress tail epoch if non-empty).
+ */
+void writeEpochSeries(const WriteTracer &tracer, JsonWriter &w);
+
+} // namespace dewrite::obs
+
+#endif // DEWRITE_OBS_TRACE_EXPORT_HH

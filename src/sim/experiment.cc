@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 
@@ -14,6 +15,17 @@
 #include "common/logging.hh"
 
 namespace dewrite {
+
+namespace {
+
+DetailedExperiment runAppImpl(const AppProfile &profile,
+                              const SystemConfig &config,
+                              const SchemeOptions &scheme,
+                              std::uint64_t max_events,
+                              std::uint64_t seed,
+                              const obs::TraceConfig *trace);
+
+} // namespace
 
 std::uint64_t
 appSeed(const AppProfile &profile)
@@ -28,6 +40,10 @@ appSeed(const AppProfile &profile)
 std::uint64_t
 experimentEvents()
 {
+    // Every bench resolves its event budget here, so this is the
+    // shared spot to validate the rest of the experiment environment:
+    // a malformed DEWRITE_LOG dies before any cell runs.
+    logLevel();
     if (const char *env = std::getenv("DEWRITE_EVENTS")) {
         errno = 0;
         char *end = nullptr;
@@ -69,6 +85,26 @@ runAppDetailed(const AppProfile &profile, const SystemConfig &config,
                const SchemeOptions &scheme, std::uint64_t max_events,
                std::uint64_t seed)
 {
+    return runAppImpl(profile, config, scheme, max_events, seed,
+                      nullptr);
+}
+
+DetailedExperiment
+runAppTraced(const AppProfile &profile, const SystemConfig &config,
+             const SchemeOptions &scheme, std::uint64_t max_events,
+             std::uint64_t seed, const obs::TraceConfig &trace)
+{
+    return runAppImpl(profile, config, scheme, max_events, seed,
+                      &trace);
+}
+
+namespace {
+
+DetailedExperiment
+runAppImpl(const AppProfile &profile, const SystemConfig &config,
+           const SchemeOptions &scheme, std::uint64_t max_events,
+           std::uint64_t seed, const obs::TraceConfig *trace)
+{
     DetailedExperiment detailed;
     detailed.result.app = profile.name;
 
@@ -99,10 +135,22 @@ runAppDetailed(const AppProfile &profile, const SystemConfig &config,
 
     detailed.system = std::make_unique<System>(sized, scheme);
     detailed.result.scheme = detailed.system->controller().name();
+    if (trace)
+        detailed.system->enableTracing(*trace);
+
+    const auto host_start = std::chrono::steady_clock::now();
     detailed.result.run = detailed.system->run(traces, max_events);
+    detailed.result.hostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_start)
+            .count();
+
     detailed.system->controller().fillStats(detailed.result.stats);
+    detailed.result.metrics = detailed.system->registry().snapshot();
     return detailed;
 }
+
+} // namespace
 
 SchemeOptions
 plainScheme()

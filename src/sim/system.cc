@@ -45,7 +45,26 @@ System::System(const SystemConfig &config, const SchemeOptions &scheme,
     : config_(config), device_(config_), core_(config_.timing)
 {
     validateConfig(config_);
+    // Latch (and validate) DEWRITE_LOG up front so a malformed value
+    // fails fast like DEWRITE_EVENTS, not on the first gated message.
+    logLevel();
     controller_ = makeController(config_, device_, scheme, key);
+
+    registry_.addGauge(
+        "system.sim_picoseconds",
+        [this] { return static_cast<double>(now_); },
+        "simulated time of the direct API");
+    device_.registerMetrics(registry_.scope("device"));
+    controller_->registerMetrics(registry_);
+}
+
+obs::WriteTracer &
+System::enableTracing(const obs::TraceConfig &config)
+{
+    if (!tracer_)
+        tracer_ = std::make_unique<obs::WriteTracer>(config);
+    controller_->attachTracer(tracer_.get());
+    return *tracer_;
 }
 
 System::System(const SystemConfig &config, const SchemeOptions &scheme)
@@ -109,54 +128,18 @@ System::dumpStats(std::FILE *out) const
                       "----------\n");
     std::fprintf(out, "# scheme: %s\n", controller_->name().c_str());
 
-    emit("system.sim_picoseconds", static_cast<double>(now_),
-         "simulated time of the direct API");
-    emit("device.num_reads", static_cast<double>(device_.numReads()),
-         "NVM line reads serviced");
-    emit("device.num_writes", static_cast<double>(device_.numWrites()),
-         "NVM line writes serviced (incl. background)");
-    emit("device.background_writes",
-         static_cast<double>(device_.numBackgroundWrites()),
-         "lazily scheduled metadata writes");
-    emit("device.row_buffer_hits",
-         static_cast<double>(device_.rowBufferHits()),
-         "reads served from an open row");
-    emit("device.total_energy_pj",
-         static_cast<double>(device_.totalEnergy()), "array energy");
-    emit("device.queue_delay_ps",
-         static_cast<double>(device_.totalQueueDelay()),
-         "cumulative bank waiting time");
-    emit("device.wear_total_writes",
-         static_cast<double>(device_.wear().totalWrites()),
-         "line writes charged to cells");
-    emit("device.wear_max_line",
-         static_cast<double>(device_.wear().maxLineWrites()),
-         "hottest line's writes");
+    // Canonical hierarchical view, registration order (components
+    // register depth-first, so related metrics stay adjacent).
+    for (const obs::MetricRegistry::Entry &entry : registry_.entries())
+        emit(entry.path.c_str(), entry.read(), entry.desc.c_str());
 
-    emit("controller.write_requests",
-         static_cast<double>(controller_->writeRequests()),
-         "write-backs received");
-    emit("controller.read_requests",
-         static_cast<double>(controller_->readRequests()),
-         "fetches received");
-    emit("controller.writes_eliminated",
-         static_cast<double>(controller_->writesEliminated()),
-         "duplicate writes never programmed");
-    emit("controller.avg_write_latency_ns",
-         controller_->avgWriteLatency() / kNanoSecond,
-         "mean write-back latency");
-    emit("controller.avg_read_latency_ns",
-         controller_->avgReadLatency() / kNanoSecond,
-         "mean fetch latency");
-    emit("controller.energy_pj",
-         static_cast<double>(controller_->controllerEnergy()),
-         "AES + dedup logic + metadata cache energy");
-
+    // Legacy flat view: the historical scheme-specific StatSet keys,
+    // kept greppable for tooling that predates the registry.
     StatSet details;
     controller_->fillStats(details);
     for (const auto &[name, value] : details.all()) {
         const std::string qualified = "controller." + name;
-        emit(qualified.c_str(), value, "scheme-specific");
+        emit(qualified.c_str(), value, "scheme-specific (legacy name)");
     }
     std::fprintf(out, "---------- End Simulation Statistics "
                       "----------\n");

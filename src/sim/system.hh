@@ -23,6 +23,8 @@
 #include "cpu/core_model.hh"
 #include "crypto/aes128.hh"
 #include "nvm/nvm_device.hh"
+#include "obs/metric_registry.hh"
+#include "obs/trace_ring.hh"
 
 namespace dewrite {
 
@@ -80,9 +82,33 @@ class System
     Time now() const { return now_; }
 
     /**
+     * The hierarchical metric registry covering every component
+     * ("device.*", "controller.*", "cache.*", "system.*"). Built once
+     * at construction; reading it is always safe and allocation-free
+     * on the simulated hot path.
+     */
+    const obs::MetricRegistry &registry() const { return registry_; }
+
+    /**
+     * Allocates the write-pipeline event tracer (if not already on)
+     * and attaches it to the controller. Per-write events land in a
+     * fixed ring (see obs/trace_ring.hh); export them with
+     * obs::writeChromeTrace / obs::writeEpochSeries. When the tracer
+     * is compiled out (DEWRITE_TRACE=0) the ring records nothing but
+     * the call remains valid.
+     */
+    obs::WriteTracer &enableTracing(
+        const obs::TraceConfig &config = obs::TraceConfig());
+
+    /** The attached tracer, or nullptr when tracing is off. */
+    const obs::WriteTracer *tracer() const { return tracer_.get(); }
+
+    /**
      * Dumps every component's statistics in a gem5-style flat text
      * format ("name value # description"), for diffing runs and for
-     * tooling that already parses stats.txt files.
+     * tooling that already parses stats.txt files. Canonical registry
+     * paths come first; the legacy flat StatSet view follows under a
+     * "controller." prefix so historical key names stay greppable.
      */
     void dumpStats(std::FILE *out) const;
 
@@ -91,6 +117,8 @@ class System
     NvmDevice device_;
     std::unique_ptr<MemController> controller_;
     CoreModel core_;
+    obs::MetricRegistry registry_;
+    std::unique_ptr<obs::WriteTracer> tracer_;
     Time now_ = 0;
 };
 

@@ -15,6 +15,19 @@
 
 namespace dewrite {
 
+namespace {
+
+/** Worker index within the owning pool; -1 on non-pool threads. */
+thread_local int tlsWorkerIndex = -1;
+
+} // namespace
+
+int
+ThreadPool::currentWorker()
+{
+    return tlsWorkerIndex;
+}
+
 ThreadPool::ThreadPool(unsigned threads)
 {
     const unsigned count = std::max(1u, threads);
@@ -109,6 +122,7 @@ ThreadPool::tryRun(std::size_t self)
 void
 ThreadPool::workerLoop(std::size_t self)
 {
+    tlsWorkerIndex = static_cast<int>(self);
     for (;;) {
         if (tryRun(self))
             continue;

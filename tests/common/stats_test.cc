@@ -51,6 +51,34 @@ TEST(AccumulatorTest, SingleNegativeSample)
     EXPECT_DOUBLE_EQ(acc.max(), -3.0);
 }
 
+TEST(AccumulatorTest, AllNegativeSamplesKeepSignedMinMax)
+{
+    Accumulator acc;
+    acc.add(-5.0);
+    acc.add(-1.0);
+    acc.add(-9.0);
+    EXPECT_DOUBLE_EQ(acc.min(), -9.0);
+    EXPECT_DOUBLE_EQ(acc.max(), -1.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), -5.0);
+}
+
+TEST(AccumulatorTest, ResetClearsAndNextSampleReseedsMinMax)
+{
+    Accumulator acc;
+    acc.add(-7.0);
+    acc.add(100.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_EQ(acc.sum(), 0.0);
+    EXPECT_EQ(acc.min(), 0.0);
+    EXPECT_EQ(acc.max(), 0.0);
+
+    // Stale extremes must not leak into the fresh window.
+    acc.add(5.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+}
+
 TEST(HistogramTest, BucketsAndOverflow)
 {
     Histogram hist(4, 10.0); // [0,10) [10,20) [20,30) [30,40).
@@ -78,6 +106,51 @@ TEST(HistogramTest, FractionBelow)
     EXPECT_DOUBLE_EQ(hist.fractionBelow(10.0), 1.0);
 }
 
+TEST(HistogramTest, FractionBelowOfEmptyIsZero)
+{
+    Histogram hist(10, 1.0);
+    EXPECT_EQ(hist.fractionBelow(5.0), 0.0);
+    EXPECT_EQ(hist.fractionBelow(0.0), 0.0);
+}
+
+TEST(HistogramTest, FractionBelowBucketBoundaries)
+{
+    Histogram hist(4, 10.0);
+    hist.add(5.0);  // Bucket 0.
+    hist.add(15.0); // Bucket 1.
+
+    // A threshold inside a bucket excludes that whole bucket: only
+    // fully covered buckets count as "below".
+    EXPECT_DOUBLE_EQ(hist.fractionBelow(9.999), 0.0);
+    EXPECT_DOUBLE_EQ(hist.fractionBelow(10.0), 0.5);
+    EXPECT_DOUBLE_EQ(hist.fractionBelow(19.0), 0.5);
+    EXPECT_DOUBLE_EQ(hist.fractionBelow(20.0), 1.0);
+    EXPECT_DOUBLE_EQ(hist.fractionBelow(1e9), 1.0);
+}
+
+TEST(HistogramTest, OverflowSamplesNeverCountAsBelow)
+{
+    Histogram hist(2, 10.0);
+    hist.add(5.0);
+    hist.add(100.0); // Overflow bucket.
+    hist.add(-1.0);  // Negative samples land in overflow too.
+    EXPECT_EQ(hist.overflow(), 2u);
+    EXPECT_EQ(hist.total(), 3u);
+    EXPECT_DOUBLE_EQ(hist.fractionBelow(1e12), 1.0 / 3.0);
+}
+
+TEST(HistogramTest, ResetClearsBucketsOverflowAndTotal)
+{
+    Histogram hist(2, 1.0);
+    hist.add(0.5);
+    hist.add(99.0);
+    hist.reset();
+    EXPECT_EQ(hist.bucket(0), 0u);
+    EXPECT_EQ(hist.bucket(1), 0u);
+    EXPECT_EQ(hist.overflow(), 0u);
+    EXPECT_EQ(hist.total(), 0u);
+}
+
 TEST(StatSetTest, SetGetHasAdd)
 {
     StatSet stats;
@@ -90,6 +163,18 @@ TEST(StatSetTest, SetGetHasAdd)
     EXPECT_DOUBLE_EQ(stats.get("x"), 5.0);
     stats.add("fresh", 2.0);
     EXPECT_DOUBLE_EQ(stats.get("fresh"), 2.0);
+}
+
+TEST(StatSetTest, MissingKeysReadZeroWithoutCreatingEntries)
+{
+    StatSet stats;
+    stats.set("present", 1.0);
+    EXPECT_EQ(stats.get("absent"), 0.0);
+    EXPECT_FALSE(stats.has("absent"));
+    // get() must not insert: the golden fingerprint hashes all().
+    EXPECT_EQ(stats.all().size(), 1u);
+    EXPECT_EQ(stats.get(""), 0.0);
+    EXPECT_EQ(stats.all().size(), 1u);
 }
 
 } // namespace

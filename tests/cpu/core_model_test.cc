@@ -47,7 +47,6 @@ class StubController : public MemController
 
     std::string name() const override { return "stub"; }
     Energy controllerEnergy() const override { return 0; }
-    void fillStats(StatSet &) const override {}
 
     std::vector<std::pair<LineAddr, Time>> writeIssues;
     std::vector<std::pair<LineAddr, Time>> readIssues;

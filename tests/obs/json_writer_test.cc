@@ -1,0 +1,173 @@
+/**
+ * @file
+ * JsonWriter and jsonEscape tests: escaping correctness, container
+ * bookkeeping, number formatting, and error latching.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "obs/json_writer.hh"
+
+namespace dewrite::obs {
+namespace {
+
+// --- jsonEscape ------------------------------------------------------
+
+TEST(JsonEscapeTest, PassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("dewrite-predicted"), "dewrite-predicted");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(JsonEscapeTest, EscapesControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonEscapeTest, LeavesUtf8BytesAlone)
+{
+    // Multi-byte sequences are valid inside JSON strings unescaped.
+    EXPECT_EQ(jsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+// --- containers and commas -------------------------------------------
+
+std::string
+compact(const std::function<void(JsonWriter &)> &build)
+{
+    std::string out;
+    JsonWriter w(&out, /*pretty=*/false);
+    build(w);
+    EXPECT_TRUE(w.ok());
+    EXPECT_EQ(w.depth(), 0u);
+    return out;
+}
+
+TEST(JsonWriterTest, EmitsNestedContainersWithCommas)
+{
+    const std::string out = compact([](JsonWriter &w) {
+        w.beginObject();
+        w.field("a", 1);
+        w.key("b");
+        w.beginArray();
+        w.value(1);
+        w.value(2);
+        w.endArray();
+        w.endObject();
+    });
+    EXPECT_EQ(out, R"({"a":1,"b":[1,2]})");
+}
+
+TEST(JsonWriterTest, EscapesKeysAndStringValues)
+{
+    const std::string out = compact([](JsonWriter &w) {
+        w.beginObject();
+        w.field("sch\"eme", "a\\b");
+        w.endObject();
+    });
+    EXPECT_EQ(out, R"({"sch\"eme":"a\\b"})");
+}
+
+TEST(JsonWriterTest, EmitsBoolAndNull)
+{
+    const std::string out = compact([](JsonWriter &w) {
+        w.beginArray();
+        w.value(true);
+        w.value(false);
+        w.valueNull();
+        w.endArray();
+    });
+    EXPECT_EQ(out, "[true,false,null]");
+}
+
+// --- numbers ---------------------------------------------------------
+
+TEST(JsonWriterTest, IntegersAreExact)
+{
+    const std::string out = compact([](JsonWriter &w) {
+        w.beginArray();
+        w.value(std::uint64_t{ 18446744073709551615ULL });
+        w.value(std::int64_t{ -42 });
+        w.endArray();
+    });
+    EXPECT_EQ(out, "[18446744073709551615,-42]");
+}
+
+TEST(JsonWriterTest, DoublesUseShortestRoundTrip)
+{
+    const std::string out = compact([](JsonWriter &w) {
+        w.beginArray();
+        w.value(0.1);
+        w.value(2.0);
+        w.value(-1.5);
+        w.endArray();
+    });
+    EXPECT_EQ(out, "[0.1,2,-1.5]");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull)
+{
+    const std::string out = compact([](JsonWriter &w) {
+        w.beginArray();
+        w.value(std::numeric_limits<double>::quiet_NaN());
+        w.value(std::numeric_limits<double>::infinity());
+        w.endArray();
+    });
+    EXPECT_EQ(out, "[null,null]");
+}
+
+// --- error latching --------------------------------------------------
+
+TEST(JsonWriterTest, UnbalancedDocumentIsNotOk)
+{
+    std::string out;
+    JsonWriter w(&out);
+    w.beginObject();
+    EXPECT_EQ(w.depth(), 1u);
+    // Unclosed object: structurally unsound for a finished document.
+    EXPECT_TRUE(w.ok()); // No stream error yet...
+    w.endObject();
+    w.endObject(); // ...but a spurious close latches failure.
+    EXPECT_FALSE(w.ok());
+}
+
+TEST(JsonWriterTest, StreamErrorLatchesNotOk)
+{
+    std::FILE *sink = std::fopen("/dev/full", "w");
+    if (!sink)
+        GTEST_SKIP() << "/dev/full unavailable";
+    JsonWriter w(sink);
+    w.beginObject();
+    for (int i = 0; i < 10000 && w.ok(); ++i)
+        w.field("k" + std::to_string(i), i);
+    w.endObject();
+    const bool ok_after_flush = w.ok() && std::fflush(sink) == 0;
+    std::fclose(sink);
+    EXPECT_FALSE(ok_after_flush);
+}
+
+TEST(JsonWriterTest, PrettyOutputStaysParseableShape)
+{
+    std::string out;
+    JsonWriter w(&out, /*pretty=*/true);
+    w.beginObject();
+    w.field("x", 1);
+    w.endObject();
+    EXPECT_TRUE(w.ok());
+    EXPECT_NE(out.find("\"x\": 1"), std::string::npos);
+    EXPECT_EQ(out.front(), '{');
+    EXPECT_EQ(out.back(), '}');
+}
+
+} // namespace
+} // namespace dewrite::obs

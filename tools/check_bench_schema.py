@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Validates the uniform BENCH_*.json schema every bench binary emits.
+
+Every report written through obs::BenchReport starts with the same
+header block; figure-regression tooling keys off it, so CI fails fast
+when a bench drifts from the contract:
+
+    {
+      "bench": "<name>",          # string, matches the file name
+      "schema_version": 1,        # integer, bumped on breaking change
+      "events_per_cell": <uint>,  # 0 when not event-driven
+      "threads": <uint>,          # worker count used for the run
+      ...                         # bench-specific payload
+    }
+
+Usage: check_bench_schema.py [FILES...]
+With no arguments, checks every BENCH_*.json in the current directory.
+Exits 1 on the first malformed report (message on stderr).
+"""
+
+import glob
+import json
+import sys
+
+SCHEMA_VERSION = 1
+HEADER = ("bench", "schema_version", "events_per_cell", "threads")
+
+
+def fail(path: str, message: str) -> None:
+    print(f"{path}: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(path, f"unreadable or invalid JSON: {error}")
+
+    if not isinstance(report, dict):
+        fail(path, "top level must be a JSON object")
+    for key in HEADER:
+        if key not in report:
+            fail(path, f"missing required header key {key!r}")
+
+    # The first keys must be the header, in order, so that a human
+    # opening any report sees the provenance block first.
+    if list(report)[: len(HEADER)] != list(HEADER):
+        fail(path, f"header keys must lead the report, in order {HEADER}")
+
+    bench = report["bench"]
+    if not isinstance(bench, str) or not bench:
+        fail(path, "'bench' must be a non-empty string")
+    base = path.rsplit("/", 1)[-1]
+    if base != f"BENCH_{bench}.json":
+        fail(path, f"file name does not match bench name {bench!r}")
+    if report["schema_version"] != SCHEMA_VERSION:
+        fail(path, f"schema_version must be {SCHEMA_VERSION}")
+    for key in ("events_per_cell", "threads"):
+        value = report[key]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            fail(path, f"{key!r} must be a non-negative integer")
+    if report["threads"] < 1:
+        fail(path, "'threads' must be at least 1")
+
+
+def main(argv: list[str]) -> int:
+    paths = argv[1:] or sorted(glob.glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json reports found", file=sys.stderr)
+        return 1
+    for path in paths:
+        check(path)
+    print(f"checked {len(paths)} report(s): schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
