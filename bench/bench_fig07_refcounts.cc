@@ -51,6 +51,7 @@ main()
             detailed.system->controller());
 
         RefCountBuckets &cell = cells[a];
+        // dewrite-lint: allow(unsorted-iteration) commutative buckets
         ctrl.engine().hashStore().forEach(
             [&](std::uint32_t, const HashEntry &entry) {
                 ++cell.total;

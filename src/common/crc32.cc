@@ -60,6 +60,7 @@ const SliceTables kIeee = makeSliceTables(kPolynomial);
 const SliceTables kCastagnoli = makeSliceTables(kPolynomialC);
 
 /** Bytewise update starting from raw state @p crc (no init/final xor). */
+// dewrite-lint: hot
 inline std::uint32_t
 updateBytewise(const SliceTables &tables, std::uint32_t crc,
                const std::uint8_t *data, std::size_t size)
@@ -70,6 +71,7 @@ updateBytewise(const SliceTables &tables, std::uint32_t crc,
 }
 
 /** Slice-by-8 update from raw state (little-endian hosts only). */
+// dewrite-lint: hot
 std::uint32_t
 updateSliced(const SliceTables &tables, std::uint32_t crc,
              const std::uint8_t *data, std::size_t size)

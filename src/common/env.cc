@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Environment helpers implementation — the only std::getenv call sites
+ * in the tree (enforced by dewrite-lint's env-validation rule).
+ */
+
+#include "common/env.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace dewrite {
+
+const char *
+envRaw(const char *name)
+{
+    return std::getenv(name);
+}
+
+bool
+envFlag(const char *name, bool fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return fallback;
+    if (std::strcmp(value, "0") == 0)
+        return false;
+    if (std::strcmp(value, "1") == 0)
+        return true;
+    fatal("%s=\"%s\" is not 0 or 1", name, value);
+}
+
+std::uint64_t
+envUint(const char *name, std::uint64_t fallback, std::uint64_t min,
+        std::uint64_t max)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0' || value[0] == '-')
+        fatal("%s=\"%s\" is not a non-negative integer", name, value);
+    if (errno == ERANGE || parsed < min || parsed > max) {
+        fatal("%s=\"%s\" out of range (%llu..%llu)", name, value,
+              static_cast<unsigned long long>(min),
+              static_cast<unsigned long long>(max));
+    }
+    return parsed;
+}
+
+} // namespace dewrite

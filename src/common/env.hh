@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fail-fast access to the DEWRITE_* environment contract.
+ *
+ * Every configuration knob the simulator reads from the environment
+ * goes through these helpers so that a typo'd value dies loudly with
+ * the variable name and the accepted range instead of being silently
+ * misparsed (strtoull happily reads "12k" as 12). dewrite-lint's
+ * env-validation rule enforces the funnel: std::getenv may appear only
+ * in this module, so a new DEWRITE_* variable cannot ship without
+ * strict parsing.
+ *
+ * All helpers latch nothing: they re-read the environment on every
+ * call, which keeps them testable with setenv/unsetenv. Callers that
+ * want latch-once semantics (e.g. logLevel()) wrap them in a static.
+ */
+
+#ifndef DEWRITE_COMMON_ENV_HH
+#define DEWRITE_COMMON_ENV_HH
+
+#include <cstdint>
+
+namespace dewrite {
+
+/**
+ * Raw variable lookup (nullptr when unset). Only for callers that
+ * apply their own strict validation, e.g. the DEWRITE_LOG enum parse;
+ * prefer envFlag()/envUint() everywhere else.
+ */
+const char *envRaw(const char *name);
+
+/**
+ * Strict boolean switch: unset returns @p fallback; "0" and "1" parse;
+ * anything else is rejected with fatal(). The 0/1-only contract keeps
+ * shell typos ("yes", "ture") from silently disabling an audit the
+ * user asked for.
+ */
+bool envFlag(const char *name, bool fallback);
+
+/**
+ * Strict unsigned integer in [@p min, @p max]: unset returns
+ * @p fallback; malformed, negative, trailing-garbage, overflowing, or
+ * out-of-range values are rejected with fatal() naming the variable
+ * and the accepted range.
+ */
+std::uint64_t envUint(const char *name, std::uint64_t fallback,
+                      std::uint64_t min, std::uint64_t max);
+
+} // namespace dewrite
+
+#endif // DEWRITE_COMMON_ENV_HH

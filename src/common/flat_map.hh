@@ -109,6 +109,7 @@ class FlatMap
     bool contains(const K &key) const { return findIndex(key) != npos; }
 
     /** Slot index of @p key, or npos. Stable until the next mutation. */
+    // dewrite-lint: hot
     std::size_t
     findIndex(const K &key) const
     {

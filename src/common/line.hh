@@ -97,6 +97,7 @@ class Line
      * confirm-by-read compare the dedup engine runs on every
      * fingerprint match, so it is a simulator hot path.
      */
+    // dewrite-lint: hot
     bool
     operator==(const Line &other) const
     {

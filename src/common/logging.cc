@@ -17,6 +17,8 @@
 #include <mutex>
 #include <string>
 
+#include "common/env.hh"
+
 namespace dewrite {
 
 namespace {
@@ -74,7 +76,7 @@ logLevel()
     // DEWRITE_EVENTS / DEWRITE_THREADS).
     static const LogLevel level = [] {
         LogLevel parsed = LogLevel::Normal;
-        if (const char *env = std::getenv("DEWRITE_LOG")) {
+        if (const char *env = envRaw("DEWRITE_LOG")) {
             if (!parseLogLevel(env, parsed)) {
                 fatal("DEWRITE_LOG=\"%s\" is not one of "
                       "quiet/normal/verbose",

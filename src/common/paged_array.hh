@@ -183,6 +183,7 @@ class DenseAddrSet
     void
     forEachSorted(Visitor &&visit) const
     {
+        // dewrite-lint: allow(unsorted-iteration) index-ascending
         flags_.forEach([&](std::uint64_t index, std::uint8_t flag) {
             if (flag)
                 visit(index);

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "dedup/metadata_auditor.hh"
 #include "obs/trace_ring.hh"
 
 namespace dewrite {
@@ -38,10 +39,19 @@ DeWriteController::DeWriteController(const SystemConfig &config,
               DedupEngine::Options{ options.confirmByRead, reducer_.get(),
                                     /*maxChainProbe=*/4,
                                     options.hashFunction }),
-      predictor_(options.historyBits), options_(options)
+      predictor_(options.historyBits), options_(options),
+      auditPerEpoch_(auditEnabled()),
+      auditEpochWrites_(auditPerEpoch_ ? auditEpochWrites() : 0)
 {
     if (reducer_)
         reducer_->reserveSlots(config.memory.workingSetHint());
+}
+
+void
+DeWriteController::auditNow(const char *when) const
+{
+    ++auditsRun_;
+    MetadataAuditor(engine_).enforce(when);
 }
 
 DeWriteController::DeWriteController(const SystemConfig &config,
@@ -53,9 +63,14 @@ DeWriteController::DeWriteController(const SystemConfig &config,
 std::string
 DeWriteController::name() const
 {
-    std::string label = "dewrite-" + dedupModeName(options_.mode);
-    if (options_.technique != BitTechnique::None)
-        label += "+" + bitTechniqueName(options_.technique);
+    // Built with += only: GCC 12's -Wrestrict misfires on the
+    // temporary produced by chained operator+ concatenation.
+    std::string label = "dewrite-";
+    label += dedupModeName(options_.mode);
+    if (options_.technique != BitTechnique::None) {
+        label += "+";
+        label += bitTechniqueName(options_.technique);
+    }
     if (options_.hashFunction != HashFunction::Crc32) {
         label += "+";
         label += hashSpec(options_.hashFunction).name;
@@ -151,6 +166,12 @@ DeWriteController::write(LineAddr addr, const Line &data, Time now)
         ev.confirmReads = static_cast<std::uint8_t>(
             std::min(det.confirmReads, 255u));
         tracer_->record(ev);
+    }
+
+    if (auditPerEpoch_ && ++writesSinceAudit_ >= auditEpochWrites_)
+        [[unlikely]] {
+        writesSinceAudit_ = 0;
+        auditNow("epoch");
     }
 
     const Time latency = commit.done - now;

@@ -93,6 +93,17 @@ class DeWriteController : public MemController
         return encryptionsStarted_.value();
     }
 
+    /**
+     * Runs the metadata auditor immediately, panicking with full
+     * context on the first violated invariant. Called automatically
+     * every audit epoch and at run end when DEWRITE_AUDIT=1; harnesses
+     * and tests may call it at any quiescent point.
+     */
+    void auditNow(const char *when) const;
+
+    /** Metadata audits executed so far (epoch + explicit). */
+    std::uint64_t auditsRun() const { return auditsRun_; }
+
   protected:
     void registerSchemeMetrics(obs::MetricRegistry &registry)
         const override;
@@ -113,6 +124,13 @@ class DeWriteController : public MemController
     Counter wastedEncryptions_;
     Counter encryptionsStarted_;
     Energy aesEnergy_ = 0;
+
+    /** @{ DEWRITE_AUDIT=1 epoch auditing (DESIGN.md §5e). */
+    bool auditPerEpoch_ = false;
+    std::uint64_t auditEpochWrites_ = 0;
+    std::uint64_t writesSinceAudit_ = 0;
+    mutable std::uint64_t auditsRun_ = 0;
+    /** @} */
 };
 
 } // namespace dewrite

@@ -305,6 +305,7 @@ Aes128::decryptBlock(const AesBlock &ciphertext) const
 
 #ifdef DEWRITE_X86
 
+// dewrite-lint: hot
 __attribute__((target("aes,sse2"))) AesBlock
 Aes128::encryptBlockAesni(const AesBlock &plaintext) const
 {
@@ -425,6 +426,7 @@ Aes128::decryptBlockAesni(const AesBlock &ciphertext) const
 
 #endif // DEWRITE_X86
 
+// dewrite-lint: hot
 AesBlock
 Aes128::encryptBlockTables(const AesBlock &plaintext) const
 {

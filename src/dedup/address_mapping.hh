@@ -66,6 +66,9 @@ class AddressMappingTable
     void
     forEachRemapped(Visitor &&visit) const
     {
+        // PagedArray visits ascending addresses (the auditor's
+        // determinism relies on this order).
+        // dewrite-lint: allow(unsorted-iteration)
         entries_.forEach([&](LineAddr init_addr, const Entry &entry) {
             if (entry.remapped)
                 visit(init_addr, static_cast<LineAddr>(entry.value));

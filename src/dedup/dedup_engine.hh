@@ -233,6 +233,12 @@ class DedupEngine
     /** Recovery rebuilds the derived structures in place. */
     friend class RecoveryManager;
 
+    /** The audit layer reads written_/overflow_ (DESIGN.md §5e); the
+     *  test peer corrupts tables deliberately to prove the auditor
+     *  names the right invariant. */
+    friend class MetadataAuditor;
+    friend class MetadataAuditorTestPeer;
+
     /**
      * Bumps slot @p slot's minor counter (wrapping into the major
      * counter) and returns the *effective* counter fed to the OTP:

@@ -223,6 +223,7 @@ std::size_t
 HashStore::collidingEntries() const
 {
     std::size_t colliding = 0;
+    // dewrite-lint: allow(unsorted-iteration) commutative sum
     chains_.forEach([&](std::uint64_t, const Chain &chain) {
         if (chain.count > 1)
             colliding += chain.count;
@@ -234,6 +235,7 @@ std::size_t
 HashStore::maxChainLength() const
 {
     std::size_t longest = 0;
+    // dewrite-lint: allow(unsorted-iteration) commutative max
     chains_.forEach([&](std::uint64_t, const Chain &chain) {
         longest = std::max<std::size_t>(longest, chain.count);
     });
@@ -244,6 +246,7 @@ std::size_t
 HashStore::spilledChains() const
 {
     std::size_t spilled = 0;
+    // dewrite-lint: allow(unsorted-iteration) commutative count
     chains_.forEach([&](std::uint64_t, const Chain &chain) {
         if (chain.count > Chain::kInline)
             ++spilled;

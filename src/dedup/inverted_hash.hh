@@ -68,6 +68,9 @@ class InvertedHashTable
     void
     forEachDataSlot(Visitor &&visit) const
     {
+        // PagedArray visits ascending addresses (the auditor's
+        // determinism relies on this order).
+        // dewrite-lint: allow(unsorted-iteration)
         entries_.forEach([&](LineAddr real_addr, const Entry &entry) {
             if (entry.hasHash)
                 visit(real_addr, entry.value);

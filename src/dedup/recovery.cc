@@ -9,6 +9,7 @@
 
 #include "common/paged_array.hh"
 #include "dedup/dedup_engine.hh"
+#include "dedup/metadata_auditor.hh"
 #include "nvm/nvm_device.hh"
 
 namespace dewrite {
@@ -71,6 +72,7 @@ RecoveryManager::audit() const
         });
 
     // Every record must describe a live data slot with the same hash.
+    // dewrite-lint: allow(unsorted-iteration) commutative counts
     engine_.hashStore().forEach(
         [&](std::uint64_t hash, const HashEntry &entry) {
             if (!engine_.invertedHash().holdsData(entry.realAddr) ||
@@ -140,6 +142,12 @@ RecoveryManager::rebuild()
         2 * ((config.memory.numLines * 33 + kLineBits - 1) / kLineBits);
     report.estimatedScanTime = region_lines * config.timing.nvmRead /
                                config.timing.numBanks;
+
+    // A rebuilt engine must satisfy every cross-table invariant; under
+    // DEWRITE_AUDIT=1 a recovery that leaves the metadata inconsistent
+    // dies here with the violated invariant named.
+    if (auditEnabled())
+        MetadataAuditor(engine_).enforce("recovery");
     return report;
 }
 

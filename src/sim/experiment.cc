@@ -6,13 +6,13 @@
 #include "sim/experiment.hh"
 
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
-#include <cstdlib>
 #include <memory>
 
 #include "common/crc32.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
+#include "dedup/metadata_auditor.hh"
 
 namespace dewrite {
 
@@ -42,25 +42,13 @@ experimentEvents()
 {
     // Every bench resolves its event budget here, so this is the
     // shared spot to validate the rest of the experiment environment:
-    // a malformed DEWRITE_LOG dies before any cell runs.
+    // a malformed DEWRITE_LOG, DEWRITE_AUDIT, or DEWRITE_AUDIT_EPOCH
+    // dies before any cell runs (even when auditing is off and the
+    // epoch value would never be read).
     logLevel();
-    if (const char *env = std::getenv("DEWRITE_EVENTS")) {
-        errno = 0;
-        char *end = nullptr;
-        const unsigned long long parsed = std::strtoull(env, &end, 10);
-        if (end == env || *end != '\0' || env[0] == '-') {
-            fatal("DEWRITE_EVENTS=\"%s\" is not a positive integer",
-                  env);
-        }
-        if (errno == ERANGE || parsed == 0 ||
-            parsed > kMaxExperimentEvents) {
-            fatal("DEWRITE_EVENTS=\"%s\" out of range (1..%llu)", env,
-                  static_cast<unsigned long long>(
-                      kMaxExperimentEvents));
-        }
-        return parsed;
-    }
-    return 120000;
+    auditEnabled();
+    auditEpochWrites();
+    return envUint("DEWRITE_EVENTS", 120000, 1, kMaxExperimentEvents);
 }
 
 ExperimentResult

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "obs/json_writer.hh"
 #include "sim/thread_pool.hh"
@@ -85,14 +86,8 @@ RunnerProfile::writeJson(obs::JsonWriter &w) const
 unsigned
 runnerThreads()
 {
-    if (const char *env = std::getenv("DEWRITE_THREADS")) {
-        errno = 0;
-        char *end = nullptr;
-        const unsigned long parsed = std::strtoul(env, &end, 10);
-        if (end == env || *end != '\0')
-            fatal("DEWRITE_THREADS=\"%s\" is not a number", env);
-        if (errno == ERANGE || parsed == 0 || parsed > 4096)
-            fatal("DEWRITE_THREADS=\"%s\" out of range (1..4096)", env);
+    if (const std::uint64_t parsed = envUint("DEWRITE_THREADS", 0, 1,
+                                             4096)) {
         return static_cast<unsigned>(parsed);
     }
     const unsigned hw = std::thread::hardware_concurrency();

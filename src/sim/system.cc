@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "controller/plain_controller.hh"
+#include "dedup/metadata_auditor.hh"
 #include "trace/trace.hh"
 
 namespace dewrite {
@@ -80,6 +81,7 @@ System::run(TraceSource &trace, std::uint64_t max_events)
     result.nvmLineWrites = device_.numWrites();
     result.nvmLineReads = device_.numReads();
     result.bitsProgrammed = controller_->dataBitsProgrammed();
+    auditRunEnd();
     return result;
 }
 
@@ -92,7 +94,21 @@ System::run(const std::vector<TraceSource *> &traces,
     result.nvmLineWrites = device_.numWrites();
     result.nvmLineReads = device_.numReads();
     result.bitsProgrammed = controller_->dataBitsProgrammed();
+    auditRunEnd();
     return result;
+}
+
+void
+System::auditRunEnd() const
+{
+    // The epoch hook only fires on whole audit epochs; this closes the
+    // partial tail so every run ends with a full consistency walk.
+    if (!auditEnabled())
+        return;
+    if (const auto *dewrite =
+            dynamic_cast<const DeWriteController *>(controller_.get())) {
+        dewrite->auditNow("run-end");
+    }
 }
 
 CtrlWriteResult

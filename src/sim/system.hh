@@ -113,6 +113,9 @@ class System
     void dumpStats(std::FILE *out) const;
 
   private:
+    /** Runs the DEWRITE_AUDIT=1 end-of-run metadata audit, if any. */
+    void auditRunEnd() const;
+
     SystemConfig config_;
     NvmDevice device_;
     std::unique_ptr<MemController> controller_;

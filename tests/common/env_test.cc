@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fail-fast environment helper tests: every DEWRITE_* variable goes
+ * through envFlag/envUint, so their rejection behavior is the
+ * simulator-wide contract.
+ */
+
+#include "common/env.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace dewrite {
+namespace {
+
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        ::setenv(name, value, 1);
+    }
+    ~ScopedEnv() { ::unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+constexpr const char *kVar = "DEWRITE_ENV_TEST_VAR";
+
+TEST(EnvRawTest, ForwardsTheEnvironment)
+{
+    ::unsetenv(kVar);
+    EXPECT_EQ(envRaw(kVar), nullptr);
+    ScopedEnv env(kVar, "abc");
+    EXPECT_STREQ(envRaw(kVar), "abc");
+}
+
+TEST(EnvFlagTest, FallbackWhenUnset)
+{
+    ::unsetenv(kVar);
+    EXPECT_FALSE(envFlag(kVar, false));
+    EXPECT_TRUE(envFlag(kVar, true));
+}
+
+TEST(EnvFlagTest, ParsesZeroAndOne)
+{
+    {
+        ScopedEnv env(kVar, "1");
+        EXPECT_TRUE(envFlag(kVar, false));
+    }
+    {
+        ScopedEnv env(kVar, "0");
+        EXPECT_FALSE(envFlag(kVar, true));
+    }
+}
+
+TEST(EnvFlagDeathTest, RejectsAnythingElse)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    for (const char *bad : { "yes", "true", "2", "", " 1" }) {
+        ScopedEnv env(kVar, bad);
+        EXPECT_EXIT(envFlag(kVar, false),
+                    ::testing::ExitedWithCode(1), kVar)
+            << "value: \"" << bad << '"';
+    }
+}
+
+TEST(EnvUintTest, FallbackWhenUnset)
+{
+    ::unsetenv(kVar);
+    // The fallback is returned verbatim, even outside [min, max] —
+    // callers use that for "unset means a computed default".
+    EXPECT_EQ(envUint(kVar, 0, 1, 10), 0u);
+    EXPECT_EQ(envUint(kVar, 42, 1, 10), 42u);
+}
+
+TEST(EnvUintTest, ParsesInRangeValues)
+{
+    ScopedEnv env(kVar, "7");
+    EXPECT_EQ(envUint(kVar, 0, 1, 10), 7u);
+}
+
+TEST(EnvUintTest, AcceptsTheBounds)
+{
+    {
+        ScopedEnv env(kVar, "1");
+        EXPECT_EQ(envUint(kVar, 0, 1, 10), 1u);
+    }
+    {
+        ScopedEnv env(kVar, "10");
+        EXPECT_EQ(envUint(kVar, 0, 1, 10), 10u);
+    }
+}
+
+TEST(EnvUintDeathTest, RejectsMalformedAndOutOfRange)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    for (const char *bad :
+         { "seven", "7x", "", "-3", "0", "11",
+           "18446744073709551616" }) {
+        ScopedEnv env(kVar, bad);
+        EXPECT_EXIT(envUint(kVar, 0, 1, 10),
+                    ::testing::ExitedWithCode(1), kVar)
+            << "value: \"" << bad << '"';
+    }
+}
+
+} // namespace
+} // namespace dewrite

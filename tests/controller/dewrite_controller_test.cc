@@ -95,8 +95,8 @@ INSTANTIATE_TEST_SUITE_P(AllModes, DeWriteModeTest,
                          ::testing::Values(DedupMode::Direct,
                                            DedupMode::Parallel,
                                            DedupMode::Predicted),
-                         [](const auto &info) {
-                             return dedupModeName(info.param);
+                         [](const auto &param_info) {
+                             return dedupModeName(param_info.param);
                          });
 
 TEST(DeWriteControllerTest, ParallelModeWastesEncryptionOnDuplicates)

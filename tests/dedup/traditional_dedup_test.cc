@@ -104,8 +104,8 @@ TEST_P(TraditionalDedupTest, RoundTripStaysExact)
 INSTANTIATE_TEST_SUITE_P(CryptoFunctions, TraditionalDedupTest,
                          ::testing::Values(HashFunction::Md5,
                                            HashFunction::Sha1),
-                         [](const auto &info) {
-                             return info.param == HashFunction::Md5
+                         [](const auto &param_info) {
+                             return param_info.param == HashFunction::Md5
                                  ? "MD5"
                                  : "SHA1";
                          });

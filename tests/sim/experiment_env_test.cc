@@ -100,6 +100,17 @@ TEST(ExperimentEventsDeathTest, RejectsOverflow)
                 "DEWRITE_EVENTS");
 }
 
+TEST(ExperimentEventsDeathTest, RejectsMalformedAuditEpochEagerly)
+{
+    // The epoch value is only *used* when DEWRITE_AUDIT=1, but a
+    // malformed value must die up front either way (fail-fast policy
+    // for every DEWRITE_* variable).
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    ScopedEnv env("DEWRITE_AUDIT_EPOCH", "junk");
+    EXPECT_EXIT(experimentEvents(), ::testing::ExitedWithCode(1),
+                "DEWRITE_AUDIT_EPOCH");
+}
+
 TEST(ExperimentEventsDeathTest, RejectsAboveTheMaximum)
 {
     ::testing::GTEST_FLAG(death_test_style) = "threadsafe";

@@ -13,31 +13,35 @@ when a bench drifts from the contract:
       ...                         # bench-specific payload
     }
 
-Usage: check_bench_schema.py [FILES...]
-With no arguments, checks every BENCH_*.json in the current directory.
-Exits 1 on the first malformed report (message on stderr).
+With no FILES arguments, checks every BENCH_*.json in the current
+directory (override with --glob-dir).
+
+Exit codes: 0 all reports valid, 1 malformed report or none found,
+2 usage error.
 """
 
+from __future__ import annotations
+
+import argparse
 import glob
 import json
+import os
 import sys
 
 SCHEMA_VERSION = 1
 HEADER = ("bench", "schema_version", "events_per_cell", "threads")
 
 
+class SchemaError(Exception):
+    """One report violated the contract; str() is the diagnostic."""
+
+
 def fail(path: str, message: str) -> None:
-    print(f"{path}: {message}", file=sys.stderr)
-    raise SystemExit(1)
+    raise SchemaError(f"{path}: {message}")
 
 
-def check(path: str) -> None:
-    try:
-        with open(path, encoding="utf-8") as handle:
-            report = json.load(handle)
-    except (OSError, json.JSONDecodeError) as error:
-        fail(path, f"unreadable or invalid JSON: {error}")
-
+def check_report(path: str, report: object) -> None:
+    """Validate one parsed report; raises SchemaError on violation."""
     if not isinstance(report, dict):
         fail(path, "top level must be a JSON object")
     for key in HEADER:
@@ -52,29 +56,99 @@ def check(path: str) -> None:
     bench = report["bench"]
     if not isinstance(bench, str) or not bench:
         fail(path, "'bench' must be a non-empty string")
-    base = path.rsplit("/", 1)[-1]
-    if base != f"BENCH_{bench}.json":
+    if os.path.basename(path) != f"BENCH_{bench}.json":
         fail(path, f"file name does not match bench name {bench!r}")
     if report["schema_version"] != SCHEMA_VERSION:
         fail(path, f"schema_version must be {SCHEMA_VERSION}")
     for key in ("events_per_cell", "threads"):
         value = report[key]
-        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
             fail(path, f"{key!r} must be a non-negative integer")
     if report["threads"] < 1:
         fail(path, "'threads' must be at least 1")
 
 
-def main(argv: list[str]) -> int:
-    paths = argv[1:] or sorted(glob.glob("BENCH_*.json"))
+def check_file(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(path, f"unreadable or invalid JSON: {error}")
+    check_report(path, report)
+
+
+def self_test() -> int:
+    """Seeded-violation check: the validator must accept a conforming
+    report and name the defect in each broken variant."""
+    good = {"bench": "fig04", "schema_version": SCHEMA_VERSION,
+            "events_per_cell": 120000, "threads": 4, "extra": [1, 2]}
+    check_report("BENCH_fig04.json", good)
+
+    broken = [
+        ("missing required header key",
+         {"bench": "fig04", "schema_version": 1, "threads": 1}),
+        ("header keys must lead",
+         {"extra": 1, "bench": "fig04", "schema_version": 1,
+          "events_per_cell": 0, "threads": 1}),
+        ("file name does not match",
+         {"bench": "other", "schema_version": 1,
+          "events_per_cell": 0, "threads": 1}),
+        ("schema_version must be",
+         {"bench": "fig04", "schema_version": 99,
+          "events_per_cell": 0, "threads": 1}),
+        ("non-negative integer",
+         {"bench": "fig04", "schema_version": 1,
+          "events_per_cell": True, "threads": 1}),
+        ("'threads' must be at least 1",
+         {"bench": "fig04", "schema_version": 1,
+          "events_per_cell": 0, "threads": 0}),
+        ("top level must be a JSON object", [1, 2, 3]),
+    ]
+    for expect, report in broken:
+        try:
+            check_report("BENCH_fig04.json", report)
+        except SchemaError as error:
+            assert expect in str(error), (expect, str(error))
+        else:
+            raise AssertionError(f"accepted broken report: {expect}")
+    print("check_bench_schema self-test: OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=__doc__.split("\n", 1)[1])
+    parser.add_argument("files", nargs="*",
+                        help="report files to validate (default: "
+                             "BENCH_*.json in --glob-dir)")
+    parser.add_argument("--glob-dir", default=".",
+                        help="directory scanned when no files are "
+                             "given (default: %(default)s)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the seeded-violation self-test and "
+                             "exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    paths = args.files or sorted(
+        glob.glob(os.path.join(args.glob_dir, "BENCH_*.json")))
     if not paths:
         print("no BENCH_*.json reports found", file=sys.stderr)
         return 1
     for path in paths:
-        check(path)
+        try:
+            check_file(path)
+        except SchemaError as error:
+            print(error, file=sys.stderr)
+            return 1
     print(f"checked {len(paths)} report(s): schema OK")
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv))
+    sys.exit(main())
