@@ -13,14 +13,26 @@
  *
  * Events per cell come from DEWRITE_EVENTS (default 120000); pass
  * --quick for a 20x shorter run with the same shape.
+ *
+ * The JSON additionally carries the write-batch size (DEWRITE_BATCH),
+ * a per-scheme parity fingerprint (CRC-32 over every cell's canonical
+ * result signature — identical across batch sizes by the batching
+ * strict-equivalence contract), the per-stage host-cycle breakdown
+ * (digest/probe/pad/confirm-read/commit, from DEWRITE_STAGE_PROFILE,
+ * which this bench enables unless the environment overrides it), and
+ * an events/sec ratio of each dewrite mode against the secure
+ * baseline — the tentpole's ≥0.8 target for dewrite-predicted.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/crc32.hh"
 #include "common/table_printer.hh"
+#include "cpu/core_model.hh"
 #include "obs/bench_report.hh"
 #include "sim/parallel_runner.hh"
 #include "trace/app_catalog.hh"
@@ -29,6 +41,10 @@ using namespace dewrite;
 
 namespace {
 
+/** The per-stage gauges DedupEngine registers under stage profiling. */
+constexpr const char *kStageNames[] = { "digest", "probe", "pad",
+                                        "confirm_read", "commit" };
+
 struct SchemeTiming
 {
     std::string name;
@@ -36,6 +52,9 @@ struct SchemeTiming
     std::uint64_t events = 0;
     double seconds = 0.0;
     RunnerProfile profile;
+
+    std::uint32_t fingerprint = 0;    //!< CRC-32 over cell signatures.
+    double stageCycles[5] = { 0.0 };  //!< Summed over cells.
 
     double eventsPerSec() const
     {
@@ -48,6 +67,10 @@ struct SchemeTiming
 int
 main(int argc, char **argv)
 {
+    // Stage attribution is this bench's whole point; keep it on by
+    // default but let the environment force it off (overwrite=0).
+    setenv("DEWRITE_STAGE_PROFILE", "1", 0);
+
     const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
     const std::uint64_t events =
         quick ? experimentEvents() / 20 : experimentEvents();
@@ -76,20 +99,41 @@ main(int argc, char **argv)
                                              timing.profile, events, 0);
         timing.seconds = timing.profile.wallSeconds;
         timing.cells = cells.size();
-        for (const auto &cell : cells)
+        std::string signatures;
+        for (const auto &cell : cells) {
             timing.events += cell.run.events;
+            signatures += resultSignature(cell);
+            for (const obs::MetricSample &sample : cell.metrics) {
+                for (std::size_t s = 0; s < 5; ++s) {
+                    if (sample.path == std::string("controller.dedup."
+                                                   "stage.") +
+                                           kStageNames[s] + "_cycles") {
+                        timing.stageCycles[s] += sample.value;
+                    }
+                }
+            }
+        }
+        timing.fingerprint = crc32(
+            reinterpret_cast<const std::uint8_t *>(signatures.data()),
+            signatures.size());
         total_events += timing.events;
         total_seconds += timing.seconds;
         timings.push_back(std::move(timing));
     }
 
+    const double table_baseline =
+        timings.empty() ? 0.0 : timings.front().eventsPerSec();
     TablePrinter table({ "scheme", "cells", "events", "wall (s)",
-                         "events/sec", "util" });
+                         "events/sec", "vs base", "util" });
     for (const SchemeTiming &t : timings) {
         table.addRow({ t.name, std::to_string(t.cells),
                        std::to_string(t.events),
                        TablePrinter::num(t.seconds),
                        TablePrinter::num(t.eventsPerSec(), 0),
+                       table_baseline > 0
+                           ? TablePrinter::num(
+                                 t.eventsPerSec() / table_baseline, 2)
+                           : "-",
                        TablePrinter::num(t.profile.utilization(), 2) });
     }
     const double overall =
@@ -98,13 +142,15 @@ main(int argc, char **argv)
                           : 0.0;
     table.addRow({ "TOTAL", "-", std::to_string(total_events),
                    TablePrinter::num(total_seconds),
-                   TablePrinter::num(overall, 0), "-" });
+                   TablePrinter::num(overall, 0), "-", "-" });
     table.print();
 
     obs::BenchReport report("throughput", events, runnerThreads());
     if (!report.opened())
         return 1;
     obs::JsonWriter &w = report.json();
+    w.field("write_batch",
+            static_cast<std::uint64_t>(writeBatchSize()));
     w.key("schemes");
     w.beginArray();
     for (const SchemeTiming &t : timings) {
@@ -114,11 +160,35 @@ main(int argc, char **argv)
         w.field("events", t.events);
         w.field("wall_seconds", t.seconds);
         w.field("events_per_sec", t.eventsPerSec());
+        w.field("result_fingerprint",
+                static_cast<std::uint64_t>(t.fingerprint));
+        w.key("stage_cycles");
+        w.beginObject();
+        for (std::size_t s = 0; s < 5; ++s)
+            w.field(kStageNames[s], t.stageCycles[s]);
+        w.endObject();
         w.key("profile");
         t.profile.writeJson(w);
         w.endObject();
     }
     w.endArray();
+
+    // Each dewrite mode's host throughput relative to the secure
+    // baseline (the tentpole tracks dewrite-predicted ≥ 0.8).
+    const double baseline_eps = timings.empty()
+        ? 0.0
+        : timings.front().eventsPerSec();
+    w.key("ratios");
+    w.beginObject();
+    for (const SchemeTiming &t : timings) {
+        if (t.name == "secure-baseline")
+            continue;
+        w.field(t.name,
+                baseline_eps > 0 ? t.eventsPerSec() / baseline_eps
+                                 : 0.0);
+    }
+    w.endObject();
+
     w.field("total_events", total_events);
     w.field("total_wall_seconds", total_seconds);
     w.field("events_per_sec", overall);

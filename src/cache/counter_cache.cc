@@ -35,7 +35,8 @@ CounterCache::access(LineAddr addr, bool is_write, Time now)
 
     // Counter lines are stored raw (they are not secret), so a fill is
     // one NVM read with no decryption step.
-    const NvmAccess fill = device_.read(base_ + block % regionLines_, now);
+    const NvmTiming fill =
+        device_.readTimed(base_ + block % regionLines_, now);
     result.latency += fill.complete - now;
     ++result.nvmReads;
 
@@ -43,8 +44,8 @@ CounterCache::access(LineAddr addr, bool is_write, Time now)
     if (eviction.valid && eviction.dirty) {
         // Counter writebacks drain lazily like the dedup metadata's
         // (the cache is battery-backed in both designs).
-        device_.writeBackground(base_ + eviction.key % regionLines_,
-                                Line(), kAesBlockSize * 8);
+        device_.writeBackgroundZero(base_ + eviction.key % regionLines_,
+                                    kAesBlockSize * 8);
         ++result.nvmWrites;
     }
 

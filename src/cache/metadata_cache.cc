@@ -116,10 +116,15 @@ MetadataCache::fillBlock(Partition &part, std::uint64_t block, Time now,
     // Consecutive lines map to consecutive banks, so the fill reads
     // proceed in parallel; the fill completes when the slowest returns.
     Time done = now;
-    for (std::uint64_t i = 0; i < part.linesPerBlock; ++i) {
-        const LineAddr addr =
-            part.base + (block * part.linesPerBlock + i) % part.lines;
-        const NvmAccess access = device_.read(addr, now);
+    // Step the wrapped offset incrementally instead of dividing per
+    // line: ((block * linesPerBlock + i) % lines) for consecutive i.
+    std::uint64_t offset = part.lineDiv.mod(block * part.linesPerBlock);
+    for (std::uint64_t i = 0; i < part.linesPerBlock;
+         ++i, offset = offset + 1 == part.lines ? 0 : offset + 1) {
+        const LineAddr addr = part.base + offset;
+        // The filled content lives functionally in the owning table;
+        // only the read's completion time matters here.
+        const NvmTiming access = device_.readTimed(addr, now);
         done = std::max(done, access.complete);
         fillReads_.increment();
         ++result.nvmReads;
@@ -135,16 +140,17 @@ void
 MetadataCache::writebackBlock(Partition &part, std::uint64_t block, Time now,
                               MetadataAccessResult &result)
 {
-    for (std::uint64_t i = 0; i < part.linesPerBlock; ++i) {
-        const LineAddr addr =
-            part.base + (block * part.linesPerBlock + i) % part.lines;
+    std::uint64_t offset = part.lineDiv.mod(block * part.linesPerBlock);
+    for (std::uint64_t i = 0; i < part.linesPerBlock;
+         ++i, offset = offset + 1 == part.lines ? 0 : offset + 1) {
+        const LineAddr addr = part.base + offset;
         // Content is held functionally by the owning table. The
         // metadata cache is battery-backed (Section V), so writebacks
         // drain lazily into idle bank slots; a typical writeback
         // dirtied a few entries, i.e. one re-encrypted 128-bit block
         // of cells per line.
         (void)now;
-        device_.writeBackground(addr, Line(), kAesBlockSize * 8);
+        device_.writeBackgroundZero(addr, kAesBlockSize * 8);
         writebacks_.increment();
         ++result.nvmWrites;
         energy_ += config_.energy.aesBlock; // Direct re-encryption.
@@ -156,7 +162,7 @@ MetadataCache::access(MetadataTable table, std::uint64_t index, bool is_write,
                       Time now, bool allow_fill)
 {
     Partition &part = partition(table);
-    const std::uint64_t block = index / part.blockEntries;
+    const std::uint64_t block = part.entryDiv.div(index);
 
     MetadataAccessResult result;
     result.latency = config_.timing.metadataCacheAccess;
@@ -194,7 +200,7 @@ MetadataCache::insertEntry(MetadataTable table, std::uint64_t index,
                            Time now)
 {
     Partition &part = partition(table);
-    const std::uint64_t block = index / part.blockEntries;
+    const std::uint64_t block = part.entryDiv.div(index);
 
     MetadataAccessResult result;
     result.latency = config_.timing.metadataCacheAccess;
@@ -225,7 +231,7 @@ MetadataCache::postUpdate(MetadataTable table, std::uint64_t index,
                           Time now)
 {
     Partition &part = partition(table);
-    const std::uint64_t block = index / part.blockEntries;
+    const std::uint64_t block = part.entryDiv.div(index);
 
     MetadataAccessResult result;
     result.latency = config_.timing.metadataCacheAccess;

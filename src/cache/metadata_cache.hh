@@ -24,6 +24,7 @@
 #include <cstdint>
 
 #include "cache/set_assoc_cache.hh"
+#include "common/fast_div.hh"
 #include "common/timing.hh"
 #include "common/types.hh"
 #include "obs/metric_registry.hh"
@@ -133,13 +134,18 @@ class MetadataCache
         std::uint64_t linesPerBlock;
         LineAddr base;             //!< First NVM line of this table.
         LineAddr lines;            //!< NVM lines the table spans.
+        FastDiv entryDiv;          //!< index / blockEntries, exactly.
+        FastDiv lineDiv;           //!< block offsets mod lines, exactly.
 
         Partition(std::size_t num_blocks, std::uint64_t entry_bits,
                   std::uint64_t block_entries, std::uint64_t lines_per_block,
                   LineAddr base_addr, LineAddr span)
             : directory(num_blocks), entryBits(entry_bits),
               blockEntries(block_entries), linesPerBlock(lines_per_block),
-              base(base_addr), lines(span)
+              base(base_addr), lines(span), entryDiv(block_entries),
+              // The placeholder partitions are built with span 0 before
+              // the real layout pass; FastDiv needs a nonzero divisor.
+              lineDiv(span ? span : 1)
         {}
     };
 

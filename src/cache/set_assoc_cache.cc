@@ -23,6 +23,9 @@ mixKey(std::uint64_t key)
     return key;
 }
 
+/** use_ word layout: 0 = invalid, else (useClock << 1) | dirty. */
+constexpr std::uint64_t kDirtyBit = 1;
+
 } // namespace
 
 SetAssocCache::SetAssocCache(std::size_t num_blocks, unsigned associativity)
@@ -32,24 +35,31 @@ SetAssocCache::SetAssocCache(std::size_t num_blocks, unsigned associativity)
         fatal("cache associativity must be nonzero");
     numSets_ = std::max<std::size_t>(1, num_blocks / associativity_);
     numBlocks_ = numSets_ * associativity_;
-    ways_.resize(numSets_ * associativity_);
+    setDiv_ = FastDiv(numSets_);
+    keys_.resize(numBlocks_, 0);
+    use_.resize(numBlocks_, 0);
 }
 
 std::size_t
 SetAssocCache::setIndex(std::uint64_t key) const
 {
-    return mixKey(key) % numSets_;
+    // FastDiv::mod is bit-identical to % but avoids the hardware
+    // divide; this runs on every directory probe of every metadata
+    // partition, which profiling puts near the top of the host cost.
+    return setDiv_.mod(mixKey(key));
 }
 
 bool
 SetAssocCache::access(std::uint64_t key, bool make_dirty)
 {
-    Way *base = ways_.data() + setIndex(key) * associativity_;
+    // dewrite-lint: hot
+    const std::size_t base = setIndex(key) * associativity_;
     for (unsigned w = 0; w < associativity_; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.key == key) {
-            way.lastUse = ++useClock_;
-            way.dirty = way.dirty || make_dirty;
+        const std::size_t slot = base + w;
+        if (keys_[slot] == key && use_[slot] != 0) {
+            use_[slot] = (++useClock_ << 1) |
+                         ((use_[slot] & kDirtyBit) |
+                          (make_dirty ? kDirtyBit : 0));
             hits_.increment();
             return true;
         }
@@ -61,43 +71,47 @@ SetAssocCache::access(std::uint64_t key, bool make_dirty)
 CacheEviction
 SetAssocCache::insert(std::uint64_t key, bool dirty)
 {
-    Way *base = ways_.data() + setIndex(key) * associativity_;
-    Way *victim = nullptr;
+    const std::size_t base = setIndex(key) * associativity_;
+    std::size_t victim = base;
+    bool found = false;
     for (unsigned w = 0; w < associativity_; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.key == key)
-            panic("inserting key %llu already resident",
-                  static_cast<unsigned long long>(key));
-        if (!way.valid) {
-            victim = &way;
+        const std::size_t slot = base + w;
+        if (use_[slot] == 0) {
+            victim = slot;
+            found = true;
             break;
         }
-        if (!victim || way.lastUse < victim->lastUse)
-            victim = &way;
+        if (keys_[slot] == key)
+            panic("inserting key %llu already resident",
+                  static_cast<unsigned long long>(key));
+        // Comparing the packed words orders by use clock: the clock is
+        // strictly increasing, so the dirty bit can never tie-break.
+        if (!found || use_[slot] < use_[victim]) {
+            victim = slot;
+            found = true;
+        }
     }
 
     CacheEviction eviction;
-    if (victim->valid) {
+    if (use_[victim] != 0) {
         eviction.valid = true;
-        eviction.key = victim->key;
-        eviction.dirty = victim->dirty;
-        if (victim->dirty)
+        eviction.key = keys_[victim];
+        eviction.dirty = (use_[victim] & kDirtyBit) != 0;
+        if (eviction.dirty)
             dirtyEvictions_.increment();
     }
 
-    victim->valid = true;
-    victim->dirty = dirty;
-    victim->key = key;
-    victim->lastUse = ++useClock_;
+    keys_[victim] = key;
+    use_[victim] = (++useClock_ << 1) | (dirty ? kDirtyBit : 0);
     return eviction;
 }
 
 bool
 SetAssocCache::contains(std::uint64_t key) const
 {
-    const Way *base = ways_.data() + setIndex(key) * associativity_;
+    const std::size_t base = setIndex(key) * associativity_;
     for (unsigned w = 0; w < associativity_; ++w) {
-        if (base[w].valid && base[w].key == key)
+        if (keys_[base + w] == key && use_[base + w] != 0)
             return true;
     }
     return false;
@@ -106,14 +120,16 @@ SetAssocCache::contains(std::uint64_t key) const
 CacheEviction
 SetAssocCache::invalidate(std::uint64_t key)
 {
-    Way *base = ways_.data() + setIndex(key) * associativity_;
+    const std::size_t base = setIndex(key) * associativity_;
     for (unsigned w = 0; w < associativity_; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.key == key) {
-            CacheEviction eviction{ true, way.key, way.dirty };
-            if (way.dirty)
+        const std::size_t slot = base + w;
+        if (keys_[slot] == key && use_[slot] != 0) {
+            CacheEviction eviction{ true, keys_[slot],
+                                    (use_[slot] & kDirtyBit) != 0 };
+            if (eviction.dirty)
                 dirtyEvictions_.increment();
-            way = Way();
+            keys_[slot] = 0;
+            use_[slot] = 0;
             return eviction;
         }
     }
@@ -130,16 +146,17 @@ SetAssocCache::hitRate() const
 void
 SetAssocCache::flush()
 {
-    std::fill(ways_.begin(), ways_.end(), Way());
+    std::fill(keys_.begin(), keys_.end(), 0);
+    std::fill(use_.begin(), use_.end(), 0);
 }
 
 std::vector<std::uint64_t>
 SetAssocCache::dirtyKeys() const
 {
     std::vector<std::uint64_t> keys;
-    for (const auto &way : ways_) {
-        if (way.valid && way.dirty)
-            keys.push_back(way.key);
+    for (std::size_t slot = 0; slot < use_.size(); ++slot) {
+        if (use_[slot] != 0 && (use_[slot] & kDirtyBit))
+            keys.push_back(keys_[slot]);
     }
     return keys;
 }
@@ -147,8 +164,8 @@ SetAssocCache::dirtyKeys() const
 void
 SetAssocCache::cleanAll()
 {
-    for (auto &way : ways_)
-        way.dirty = false;
+    for (auto &use : use_)
+        use &= ~kDirtyBit;
 }
 
 } // namespace dewrite

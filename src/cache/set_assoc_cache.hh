@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fast_div.hh"
 #include "common/stats.hh"
 
 namespace dewrite {
@@ -73,20 +74,23 @@ class SetAssocCache
     void cleanAll();
 
   private:
-    struct Way
-    {
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t key = 0;
-        std::uint64_t lastUse = 0;
-    };
-
     std::size_t setIndex(std::uint64_t key) const;
 
     std::size_t numBlocks_;
     unsigned associativity_;
     std::size_t numSets_;
-    std::vector<Way> ways_; // numSets_ x associativity_, row-major.
+    FastDiv setDiv_; //!< Reciprocal for the hot mixKey % numSets_.
+
+    /**
+     * Way state as struct-of-arrays, each numSets_ x associativity_
+     * row-major. keys_ holds the tags (an 8-way set's tags fit one
+     * cache line); use_[w] packs the whole way state into one word:
+     * 0 means invalid, otherwise (useClock << 1) | dirty. The LRU
+     * comparison works on the packed value because the clock is
+     * strictly increasing, so a probe touches exactly two arrays.
+     */
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint64_t> use_;
     std::uint64_t useClock_ = 0;
 
     Counter hits_;

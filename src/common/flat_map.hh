@@ -32,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/huge_pages.hh"
+
 namespace dewrite {
 
 /**
@@ -46,6 +48,22 @@ flatMix64(std::uint64_t x)
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
     return x ^ (x >> 31);
+}
+
+/**
+ * Read-intent cache-warming hint. Purely advisory: it may load the
+ * addressed cache line early, but never changes program state, so it is
+ * always safe to issue speculatively (wrong guesses cost bandwidth
+ * only).
+ */
+inline void
+hostPrefetchRead(const void *p)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+    (void)p;
+#endif
 }
 
 /** Default hasher: integral keys go through the full-avalanche mix. */
@@ -122,6 +140,20 @@ class FlatMap
             idx = (idx + 1) & mask_;
         }
         return npos;
+    }
+
+    /**
+     * Warms the cache line @p key's probe sequence starts at. A pure
+     * hint: no slot, size, or iteration state changes — the std-oracle
+     * property tests interleave it freely with every mutation.
+     */
+    // dewrite-lint: hot
+    void
+    prefetch(const K &key) const
+    {
+        if (slots_.empty())
+            return;
+        hostPrefetchRead(&slots_[hasher_(key) & mask_]);
     }
 
     const V &valueAt(std::size_t idx) const { return slots_[idx].value; }
@@ -261,7 +293,7 @@ class FlatMap
     void
     rehash(std::size_t new_capacity)
     {
-        std::vector<Slot> old = std::move(slots_);
+        SlotVec old = std::move(slots_);
         slots_.assign(new_capacity, Slot{});
         mask_ = new_capacity - 1;
         for (Slot &slot : old) {
@@ -274,7 +306,14 @@ class FlatMap
         }
     }
 
-    std::vector<Slot> slots_;
+    /**
+     * Huge-page-backed once the table crosses ~1 MiB: large FlatMaps
+     * (hash store, spill tables) are probed at mixed indices, so TLB
+     * reach dominates their host cost. Small tables use the plain heap.
+     */
+    using SlotVec = std::vector<Slot, HugeAwareAllocator<Slot>>;
+
+    SlotVec slots_;
     std::size_t mask_ = 0;
     std::size_t size_ = 0;
     Hasher hasher_{};
@@ -292,6 +331,7 @@ class FlatSet
     bool empty() const { return map_.empty(); }
     void reserve(std::size_t expected) { map_.reserve(expected); }
     bool contains(const K &key) const { return map_.contains(key); }
+    void prefetch(const K &key) const { map_.prefetch(key); }
     bool insert(const K &key) { return map_.tryEmplace(key).second; }
     bool erase(const K &key) { return map_.erase(key); }
     void clear() { map_.clear(); }

@@ -22,16 +22,32 @@
 #define DEWRITE_COMMON_PAGED_ARRAY_HH
 
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "common/flat_map.hh"
+#include "common/huge_pages.hh"
 
 namespace dewrite {
 
-template <typename T, std::size_t kPageEntries = 4096>
+/**
+ * Default entries per page: sized so one page spans one transparent
+ * huge page (see huge_pages.hh), clamped to at least 4096 entries so
+ * arrays of large T still amortize the directory indirection.
+ */
+constexpr std::size_t
+pagedArrayDefaultEntries(std::size_t entry_bytes)
+{
+    const std::size_t per_huge_page =
+        std::bit_floor(kHugePageBytes / entry_bytes);
+    return per_huge_page < 4096 ? 4096 : per_huge_page;
+}
+
+template <typename T,
+          std::size_t kPageEntries = pagedArrayDefaultEntries(sizeof(T))>
 class PagedArray
 {
     static_assert((kPageEntries & (kPageEntries - 1)) == 0,
@@ -77,6 +93,23 @@ class PagedArray
             static_cast<const PagedArray *>(this)->find(index));
     }
 
+    /**
+     * Warms the cache line holding entry @p index (if its page exists).
+     * A pure hint — mirrors find() without materializing the result.
+     */
+    // dewrite-lint: hot
+    void
+    prefetch(std::uint64_t index) const
+    {
+        if (index >= kMaxDirectEntries) {
+            overflow_.prefetch(index);
+            return;
+        }
+        const std::size_t page = index / kPageEntries;
+        if (page < pages_.size() && pages_[page])
+            hostPrefetchRead(&(*pages_[page])[index % kPageEntries]);
+    }
+
     /** Entry value at @p index; untouched entries read as T{}. */
     T
     get(std::uint64_t index) const
@@ -95,7 +128,7 @@ class PagedArray
         if (page >= pages_.size())
             pages_.resize(page + 1);
         if (!pages_[page])
-            pages_[page] = std::make_unique<Page>();
+            pages_[page] = makeHuge<Page>();
         return (*pages_[page])[index % kPageEntries];
     }
 
@@ -128,7 +161,7 @@ class PagedArray
   private:
     using Page = std::array<T, kPageEntries>;
 
-    std::vector<std::unique_ptr<Page>> pages_;
+    std::vector<HugeUniquePtr<Page>> pages_;
     FlatMap<std::uint64_t, T> overflow_;
 };
 
@@ -151,6 +184,9 @@ class DenseAddrSet
         const std::uint8_t *flag = flags_.find(index);
         return flag && *flag;
     }
+
+    /** Pure cache-warming hint for the flag byte of @p index. */
+    void prefetch(std::uint64_t index) const { flags_.prefetch(index); }
 
     /** @return true iff @p index was newly added. */
     bool

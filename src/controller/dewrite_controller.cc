@@ -6,6 +6,9 @@
 #include "controller/dewrite_controller.hh"
 
 #include <algorithm>
+#include <array>
+
+#include "common/check.hh"
 
 #include "common/logging.hh"
 #include "dedup/metadata_auditor.hh"
@@ -88,6 +91,37 @@ DeWriteController::startEncryption()
 CtrlWriteResult
 DeWriteController::write(LineAddr addr, const Line &data, Time now)
 {
+    return writeOne(addr, data, now, /*precomputed_hash=*/nullptr);
+}
+
+// dewrite-lint: hot
+void
+DeWriteController::writeBatch(const CtrlWriteRequest *requests,
+                              CtrlWriteResult *results, std::size_t count)
+{
+    DEWRITE_DCHECK(count <= kMaxWriteBatch,
+                   "writeBatch of %zu exceeds kMaxWriteBatch", count);
+    if (count < 2) {
+        MemController::writeBatch(requests, results, count);
+        return;
+    }
+
+    // The engine digests every member, prefetches all metadata buckets,
+    // and pre-generates the candidate pads 8-wide; the members then
+    // replay through the exact serial write path with their digest
+    // handed in.
+    std::array<std::uint64_t, kMaxWriteBatch> hashes;
+    engine_.prepareBatch(requests, count, hashes.data());
+    for (std::size_t i = 0; i < count; ++i) {
+        results[i] = writeOne(requests[i].addr, *requests[i].data,
+                              requests[i].now, &hashes[i]);
+    }
+}
+
+CtrlWriteResult
+DeWriteController::writeOne(LineAddr addr, const Line &data, Time now,
+                            const std::uint64_t *precomputed_hash)
+{
     DetectOutcome det;
     Time encrypt_ready = 0;
     bool speculative_encryption = false;
@@ -95,7 +129,8 @@ DeWriteController::write(LineAddr addr, const Line &data, Time now)
 
     switch (options_.mode) {
       case DedupMode::Direct:
-        det = engine_.detect(data, now, /*allow_nvm_fill=*/true);
+        det = engine_.detect(data, now, /*allow_nvm_fill=*/true,
+                             precomputed_hash);
         if (!det.duplicate) {
             // Serial: the AES engine starts only after detection rules
             // out a duplicate.
@@ -110,7 +145,8 @@ DeWriteController::write(LineAddr addr, const Line &data, Time now)
         startEncryption();
         speculative_encryption = true;
         encrypt_ready = now + config_.timing.aesLine;
-        det = engine_.detect(data, now, /*allow_nvm_fill=*/true);
+        det = engine_.detect(data, now, /*allow_nvm_fill=*/true,
+                             precomputed_hash);
         break;
 
       case DedupMode::Predicted:
@@ -118,7 +154,8 @@ DeWriteController::write(LineAddr addr, const Line &data, Time now)
         if (predicted_dup) {
             // Predicted duplicate: direct path, and the PNA scheme
             // allows the in-NVM hash-table query.
-            det = engine_.detect(data, now, /*allow_nvm_fill=*/true);
+            det = engine_.detect(data, now, /*allow_nvm_fill=*/true,
+                                 precomputed_hash);
             if (!det.duplicate) {
                 startEncryption();
                 encrypt_ready = det.done + config_.timing.aesLine;
@@ -130,7 +167,8 @@ DeWriteController::write(LineAddr addr, const Line &data, Time now)
             speculative_encryption = true;
             encrypt_ready = now + config_.timing.aesLine;
             det = engine_.detect(data, now,
-                                 /*allow_nvm_fill=*/!options_.pnaEnabled);
+                                 /*allow_nvm_fill=*/!options_.pnaEnabled,
+                                 precomputed_hash);
         }
         break;
     }
@@ -185,6 +223,18 @@ DeWriteController::read(LineAddr addr, Time now)
     const ReadOutcome outcome = engine_.read(addr, now);
     CtrlReadResult result;
     result.data = outcome.data;
+    result.valid = outcome.valid;
+    result.latency = outcome.done - now;
+    noteRead(result.latency);
+    return result;
+}
+
+CtrlReadResult
+DeWriteController::readTiming(LineAddr addr, Time now)
+{
+    const ReadOutcome outcome =
+        engine_.read(addr, now, /*want_data=*/false);
+    CtrlReadResult result;
     result.valid = outcome.valid;
     result.latency = outcome.done - now;
     noteRead(result.latency);

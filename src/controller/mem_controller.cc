@@ -12,6 +12,16 @@
 namespace dewrite {
 
 void
+MemController::writeBatch(const CtrlWriteRequest *requests,
+                          CtrlWriteResult *results, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        results[i] =
+            write(requests[i].addr, *requests[i].data, requests[i].now);
+    }
+}
+
+void
 MemController::registerMetrics(obs::MetricRegistry &registry) const
 {
     obs::MetricRegistry::Scope c = registry.scope("controller");

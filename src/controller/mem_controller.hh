@@ -40,6 +40,21 @@ struct CtrlReadResult
     bool valid = false; //!< The line had been written before.
 };
 
+/** Upper bound on writeBatch() group size (= DEWRITE_BATCH's max). */
+inline constexpr std::size_t kMaxWriteBatch = 64;
+
+/**
+ * One member of a batched write hand-off (see CoreModel's batch
+ * former). @p data points into the former's staging buffer and is
+ * valid for the duration of the writeBatch() call.
+ */
+struct CtrlWriteRequest
+{
+    LineAddr addr = 0;
+    const Line *data = nullptr;
+    Time now = 0; //!< Issue time, exactly as write() would receive it.
+};
+
 class MemController
 {
   public:
@@ -51,6 +66,29 @@ class MemController
 
     /** Fetches one cache line at @p now. */
     virtual CtrlReadResult read(LineAddr addr, Time now) = 0;
+
+    /**
+     * read() for callers that consume only the timing: all simulated
+     * effects (latency, energy, stats) are identical to read(), but
+     * the result's data member may be left zero. The in-order core
+     * uses this — it discards load data — so schemes can skip the
+     * host-side pad generation and line XOR of the decrypt.
+     */
+    virtual CtrlReadResult readTiming(LineAddr addr, Time now)
+    {
+        return read(addr, now);
+    }
+
+    /**
+     * Writes a group of @p count lines. The contract is strict
+     * equivalence: results, all simulated state, and all metrics are
+     * identical to calling write() per request in array order — the
+     * batch only lets a scheme overlap *host-side* work (digests,
+     * prefetches, AES pad generation) across members. The base
+     * implementation is exactly that serial loop.
+     */
+    virtual void writeBatch(const CtrlWriteRequest *requests,
+                            CtrlWriteResult *results, std::size_t count);
 
     /** Scheme name for reports. */
     virtual std::string name() const = 0;

@@ -10,7 +10,7 @@ namespace dewrite {
 CtrlWriteResult
 PlainController::write(LineAddr addr, const Line &data, Time now)
 {
-    const NvmAccess access = device_.write(addr, data, now);
+    const NvmTiming access = device_.write(addr, data, now);
     const Time latency = access.latency(now);
     noteWrite(latency, false, kLineBits);
     return { latency, false };
@@ -23,6 +23,17 @@ PlainController::read(LineAddr addr, Time now)
     result.valid = device_.isWritten(addr);
     const NvmAccess access = device_.read(addr, now);
     result.data = access.data;
+    result.latency = access.latency(now);
+    noteRead(result.latency);
+    return result;
+}
+
+CtrlReadResult
+PlainController::readTiming(LineAddr addr, Time now)
+{
+    CtrlReadResult result;
+    result.valid = device_.isWritten(addr);
+    const NvmTiming access = device_.readTimed(addr, now);
     result.latency = access.latency(now);
     noteRead(result.latency);
     return result;

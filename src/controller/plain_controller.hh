@@ -23,6 +23,7 @@ class PlainController : public MemController
     CtrlWriteResult write(LineAddr addr, const Line &data,
                           Time now) override;
     CtrlReadResult read(LineAddr addr, Time now) override;
+    CtrlReadResult readTiming(LineAddr addr, Time now) override;
 
     std::string name() const override { return "plain-nvm"; }
     Energy controllerEnergy() const override { return 0; }

@@ -6,6 +6,9 @@
 #include "controller/secure_baseline.hh"
 
 #include <algorithm>
+#include <array>
+
+#include "common/check.hh"
 
 #include "obs/trace_ring.hh"
 
@@ -72,9 +75,9 @@ SecureBaselineController::write(LineAddr addr, const Line &data, Time now)
     aesEnergy_ += config_.energy.aesLine();
     const Time ciphertext_ready = counter_ready + config_.timing.aesLine;
 
-    const Line ciphertext = cme_.encryptLine(data, addr, counter);
+    const Line ciphertext = data ^ padCache_.get(cme_, addr, counter);
     const std::size_t bits = reducer_->onWrite(addr, data, counter);
-    const NvmAccess access =
+    const NvmTiming access =
         device_.write(addr, ciphertext, ciphertext_ready, bits);
 
     const Time latency = access.complete - now;
@@ -90,8 +93,62 @@ SecureBaselineController::write(LineAddr addr, const Line &data, Time now)
     return { latency, false };
 }
 
+// dewrite-lint: hot
+void
+SecureBaselineController::writeBatch(const CtrlWriteRequest *requests,
+                                     CtrlWriteResult *results,
+                                     std::size_t count)
+{
+    DEWRITE_DCHECK(count <= kMaxWriteBatch,
+                   "writeBatch of %zu exceeds kMaxWriteBatch", count);
+    if (count < 2) {
+        MemController::writeBatch(requests, results, count);
+        return;
+    }
+
+    // Warm the counter/written tables and the NVM store for every batch
+    // member before consuming any of them.
+    for (std::size_t i = 0; i < count; ++i) {
+        counters_.prefetch(requests[i].addr);
+        written_.prefetch(requests[i].addr);
+        device_.prefetchForWrite(requests[i].addr);
+    }
+
+    // Each member's pad key is fully predictable here: the write bumps
+    // the counter to current+1. A repeated address inside the batch
+    // (counter bumped twice) simply misses the exact-keyed cache and
+    // regenerates serially — correctness never depends on the guess.
+    std::array<PadRequest, kMaxWriteBatch> pad_requests;
+    std::size_t num_pads = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (options_.shredZeroLines && requests[i].data->isZero())
+            continue; // Shredded in metadata; no pad is generated.
+        const std::uint64_t *counter = counters_.find(requests[i].addr);
+        pad_requests[num_pads++] = { requests[i].addr,
+                                     (counter ? *counter : 0) + 1 };
+    }
+    padCache_.fill(cme_, pad_requests.data(), num_pads);
+
+    for (std::size_t i = 0; i < count; ++i) {
+        results[i] =
+            write(requests[i].addr, *requests[i].data, requests[i].now);
+    }
+}
+
 CtrlReadResult
 SecureBaselineController::read(LineAddr addr, Time now)
+{
+    return readImpl(addr, now, /*want_data=*/true);
+}
+
+CtrlReadResult
+SecureBaselineController::readTiming(LineAddr addr, Time now)
+{
+    return readImpl(addr, now, /*want_data=*/false);
+}
+
+CtrlReadResult
+SecureBaselineController::readImpl(LineAddr addr, Time now, bool want_data)
 {
     CtrlReadResult result;
     result.valid = written_.contains(addr);
@@ -108,14 +165,20 @@ SecureBaselineController::read(LineAddr addr, Time now)
 
     // The array read launches immediately; OTP generation waits for the
     // counter and overlaps the read (the CME latency-hiding of Fig. 1).
-    const NvmAccess access = device_.read(addr, now);
+    const NvmTiming access = device_.readTimed(addr, now);
     const Time otp_ready =
         now + counter_access.latency + config_.timing.aesLine;
     aesEnergy_ += config_.energy.aesLine();
 
-    if (const std::uint64_t *counter = counters_.find(addr)) {
-        if (*counter)
-            result.data = cme_.decryptLine(access.data, addr, *counter);
+    if (const std::uint64_t *counter =
+            want_data ? counters_.find(addr) : nullptr) {
+        if (*counter) {
+            // An unwritten slot reads as zero, so its decryption is the
+            // pad itself — same value the eager Line copy used to give.
+            const Line *ciphertext = device_.peekPtr(addr);
+            const Line &pad = padCache_.get(cme_, addr, *counter);
+            result.data = ciphertext ? (*ciphertext ^ pad) : pad;
+        }
     }
 
     result.latency = std::max(access.complete, otp_ready) +

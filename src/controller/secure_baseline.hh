@@ -46,6 +46,15 @@ class SecureBaselineController : public MemController
     CtrlWriteResult write(LineAddr addr, const Line &data,
                           Time now) override;
     CtrlReadResult read(LineAddr addr, Time now) override;
+    CtrlReadResult readTiming(LineAddr addr, Time now) override;
+
+    /**
+     * Batched entry point: prefetches counter/written metadata and
+     * pre-generates the (fully predictable) per-member pads 8-wide
+     * before replaying the members through write() in order.
+     */
+    void writeBatch(const CtrlWriteRequest *requests,
+                    CtrlWriteResult *results, std::size_t count) override;
 
     std::string name() const override;
     Energy controllerEnergy() const override;
@@ -58,6 +67,9 @@ class SecureBaselineController : public MemController
         const override;
 
   private:
+    /** Shared read body; @p want_data false skips the host decrypt. */
+    CtrlReadResult readImpl(LineAddr addr, Time now, bool want_data);
+
     const SystemConfig &config_;
     NvmDevice &device_;
     CounterModeEngine cme_;
@@ -68,6 +80,7 @@ class SecureBaselineController : public MemController
 
     PagedArray<std::uint64_t> counters_;
     DenseAddrSet written_;
+    PadCache padCache_;
     Energy aesEnergy_ = 0;
 };
 

@@ -6,11 +6,23 @@
 #include "cpu/core_model.hh"
 
 #include <algorithm>
+#include <array>
 
+#include "common/check.hh"
+#include "common/env.hh"
 #include "controller/mem_controller.hh"
 #include "trace/trace.hh"
 
 namespace dewrite {
+
+std::size_t
+writeBatchSize()
+{
+    // Re-read per call (it runs once per runMulti), which keeps the
+    // knob testable with setenv — the env.hh no-latch contract.
+    return static_cast<std::size_t>(
+        envUint("DEWRITE_BATCH", 16, 1, kMaxWriteBatch));
+}
 
 RunResult
 CoreModel::run(TraceSource &trace, MemController &controller,
@@ -24,6 +36,17 @@ RunResult
 CoreModel::runMulti(const std::vector<TraceSource *> &traces,
                     MemController &controller, std::uint64_t max_events)
 {
+    /**
+     * One in-flight write completion. While the write sits in the
+     * current unflushed batch its completion time is unknown and
+     * @c batchSlot names its staging slot; flushing resolves it.
+     */
+    struct StoreEntry
+    {
+        Time complete = 0;
+        std::int32_t batchSlot = -1; //!< -1: resolved.
+    };
+
     struct CoreState
     {
         TraceSource *trace;
@@ -31,7 +54,15 @@ CoreModel::runMulti(const std::vector<TraceSource *> &traces,
         MemEvent pending;
         Time issueAt = 0; //!< now + pending compute phase.
         bool alive = false;
-        std::vector<Time> storeQueue; //!< In-flight write completions.
+        std::vector<StoreEntry> storeQueue; //!< In-flight writes.
+    };
+
+    /** A deferred write, captured before the trace overwrites it. */
+    struct BatchSlot
+    {
+        LineAddr addr = 0;
+        Time now = 0;
+        Line data;
     };
 
     // The +1 cycle per event is the memory instruction's own issue
@@ -43,7 +74,45 @@ CoreModel::runMulti(const std::vector<TraceSource *> &traces,
         cores[c].issueAt = timing_.cycles(cores[c].pending.instGap + 1);
     }
 
+    // The batch former exploits a slack in the core model: a write's
+    // controller latency feeds back into core scheduling only when the
+    // store queue drains, so consecutive globally-selected writes can
+    // be staged and handed to the controller as one writeBatch() —
+    // which replays them in the exact serial order (strict-equivalence
+    // contract) but overlaps the host-side work. Any read, a full
+    // queue, or a full batch forces the flush first.
+    const std::size_t batchCap = writeBatchSize();
+    std::array<BatchSlot, kMaxWriteBatch> slots;
+    std::size_t batchLen = 0;
+
     RunResult result;
+
+    const auto flush = [&]() {
+        if (batchLen == 0)
+            return;
+        std::array<CtrlWriteRequest, kMaxWriteBatch> requests;
+        std::array<CtrlWriteResult, kMaxWriteBatch> responses;
+        for (std::size_t i = 0; i < batchLen; ++i)
+            requests[i] = { slots[i].addr, &slots[i].data, slots[i].now };
+        controller.writeBatch(requests.data(), responses.data(),
+                              batchLen);
+        for (std::size_t i = 0; i < batchLen; ++i) {
+            if (responses[i].eliminated)
+                ++result.writesEliminated;
+        }
+        for (auto &core : cores) {
+            for (auto &entry : core.storeQueue) {
+                if (entry.batchSlot >= 0) {
+                    const auto &slot = slots[entry.batchSlot];
+                    entry.complete =
+                        slot.now + responses[entry.batchSlot].latency;
+                    entry.batchSlot = -1;
+                }
+            }
+        }
+        batchLen = 0;
+    };
+
     for (std::uint64_t issued = 0; issued < max_events; ++issued) {
         // Issue the globally earliest pending event.
         CoreState *core = nullptr;
@@ -61,23 +130,35 @@ CoreModel::runMulti(const std::vector<TraceSource *> &traces,
         ++result.events;
 
         if (core->pending.isWrite) {
-            const CtrlWriteResult write = controller.write(
-                core->pending.addr, core->pending.data, core->now);
-            // The write drains from the persist queue; the core stalls
+            // Stage the write; its completion resolves at flush. The
+            // write drains from the persist queue; the core stalls
             // only when the queue is at capacity (ordering is kept by
             // queue FIFO order plus per-bank serialization).
-            core->storeQueue.push_back(core->now + write.latency);
+            DEWRITE_DCHECK(batchLen < batchCap, "batch overflow");
+            slots[batchLen] = { core->pending.addr, core->now,
+                                core->pending.data };
+            core->storeQueue.push_back(
+                { 0, static_cast<std::int32_t>(batchLen) });
+            ++batchLen;
+            ++result.writes;
+
             const unsigned depth = std::max(1u, timing_.storeQueueDepth);
+            if (batchLen >= batchCap ||
+                core->storeQueue.size() >= depth) {
+                flush();
+            }
             while (core->storeQueue.size() >= depth) {
-                core->now = std::max(core->now, core->storeQueue.front());
+                core->now =
+                    std::max(core->now, core->storeQueue.front().complete);
                 core->storeQueue.erase(core->storeQueue.begin());
             }
-            ++result.writes;
-            if (write.eliminated)
-                ++result.writesEliminated;
         } else {
+            // The controller must observe every staged write first.
+            flush();
+            // The core consumes only the latency, so readTiming lets
+            // the scheme skip materializing the decrypted line.
             const CtrlReadResult read =
-                controller.read(core->pending.addr, core->now);
+                controller.readTiming(core->pending.addr, core->now);
             // Loads block the in-order core until the data returns;
             // persist ordering constrains stores only, so the queue
             // keeps draining underneath.
@@ -89,6 +170,7 @@ CoreModel::runMulti(const std::vector<TraceSource *> &traces,
         core->issueAt =
             core->now + timing_.cycles(core->pending.instGap + 1);
     }
+    flush();
 
     Time slowest = 0;
     for (const auto &core : cores)

@@ -25,6 +25,12 @@ namespace dewrite {
 class MemController;
 class TraceSource;
 
+/**
+ * Writes handed to the controller per batched step: DEWRITE_BATCH
+ * (envUint, 1..64, default 16; 1 disables batching). Read per run.
+ */
+std::size_t writeBatchSize();
+
 /** Aggregate outcome of one simulation run. */
 struct RunResult
 {

@@ -68,4 +68,30 @@ AddressMappingTable::setCounter(LineAddr init_addr, std::uint64_t counter)
     entry.value = counter;
 }
 
+bool
+AddressMappingTable::counterIfNotRemapped(LineAddr init_addr,
+                                          std::uint64_t &counter) const
+{
+    const Entry *entry = entries_.find(init_addr);
+    if (!entry) {
+        counter = 0;
+        return true;
+    }
+    if (entry->remapped)
+        return false;
+    counter = entry->value;
+    return true;
+}
+
+bool
+AddressMappingTable::trySetCounter(LineAddr init_addr,
+                                   std::uint64_t counter)
+{
+    Entry &entry = entries_.ref(init_addr);
+    if (entry.remapped)
+        return false;
+    entry.value = counter;
+    return true;
+}
+
 } // namespace dewrite

@@ -27,6 +27,12 @@ class AddressMappingTable
     /** Pre-sizes the table for @p num_lines logical lines. */
     void reserve(std::uint64_t num_lines) { entries_.reserve(num_lines); }
 
+    /** Pure cache-warming hint for logical line @p init_addr's entry. */
+    void prefetch(LineAddr init_addr) const
+    {
+        entries_.prefetch(init_addr);
+    }
+
     /** True iff logical line @p init_addr is remapped to another slot. */
     bool isRemapped(LineAddr init_addr) const;
 
@@ -54,6 +60,20 @@ class AddressMappingTable
 
     /** Stores @p counter; entry must not be remapped. */
     void setCounter(LineAddr init_addr, std::uint64_t counter);
+
+    /**
+     * Fused isRemapped() + counter() in one table walk: when the entry
+     * is not remapped, stores its colocated counter (0 if untouched)
+     * into @p counter and returns true; returns false when remapped.
+     */
+    bool counterIfNotRemapped(LineAddr init_addr,
+                              std::uint64_t &counter) const;
+
+    /**
+     * Fused isRemapped() + setCounter() in one table walk: stores
+     * @p counter iff the entry is not remapped; returns whether it did.
+     */
+    bool trySetCounter(LineAddr init_addr, std::uint64_t counter);
 
     /** Number of remapped entries (deduplicated/relocated lines). */
     std::size_t remappedCount() const { return remapped_; }

@@ -17,7 +17,9 @@
 #include "dedup/dedup_engine.hh"
 
 #include <algorithm>
+#include <array>
 
+#include "common/check.hh"
 #include "common/crc32.hh"
 #include "common/logging.hh"
 #include "nvm/nvm_device.hh"
@@ -28,8 +30,9 @@ DedupEngine::DedupEngine(const SystemConfig &config, NvmDevice &device,
                          MetadataCache &metadata, CounterModeEngine &cme,
                          Options options)
     : config_(config), device_(device), metadata_(metadata), cme_(cme),
-      options_(options), fingerprinter_(options.hashFunction),
-      fsm_(config.memory.numLines)
+      options_(options),
+      hashIndexDiv_(config.memory.numLines ? config.memory.numLines : 1),
+      fingerprinter_(options.hashFunction), fsm_(config.memory.numLines)
 {
     // Size every hot-path structure up front from the config hints so
     // nothing rehashes or grows a directory mid-run (DESIGN.md §5).
@@ -51,16 +54,19 @@ DedupEngine::DedupEngine(const SystemConfig &config, NvmDevice &device,
 std::uint64_t
 DedupEngine::hashIndex(std::uint64_t hash) const
 {
-    return hash % config_.memory.numLines;
+    return hashIndexDiv_.mod(hash);
 }
 
 std::uint64_t
 DedupEngine::counterOf(LineAddr slot) const
 {
-    if (!mapping_.isRemapped(slot))
-        return mapping_.counter(slot);
-    if (!invHash_.holdsData(slot))
-        return invHash_.counter(slot);
+    // Fused single-walk probes: the colocation-home checks and the
+    // counter read share one table lookup each instead of two.
+    std::uint64_t counter;
+    if (mapping_.counterIfNotRemapped(slot, counter))
+        return counter;
+    if (invHash_.counterIfNoData(slot, counter))
+        return counter;
     const std::uint64_t *spilled = overflow_.find(slot);
     return spilled ? *spilled : 0;
 }
@@ -68,11 +74,8 @@ DedupEngine::counterOf(LineAddr slot) const
 void
 DedupEngine::setCounterOf(LineAddr slot, std::uint64_t counter)
 {
-    if (!mapping_.isRemapped(slot)) {
-        mapping_.setCounter(slot, counter);
-        overflow_.erase(slot);
-    } else if (!invHash_.holdsData(slot)) {
-        invHash_.setCounter(slot, counter);
+    if (mapping_.trySetCounter(slot, counter) ||
+        invHash_.trySetCounter(slot, counter)) {
         overflow_.erase(slot);
     } else {
         overflow_[slot] = counter;
@@ -126,6 +129,38 @@ DedupEngine::registerMetrics(obs::MetricRegistry::Scope scope) const
     scope.gauge("energy_pj",
                 [this] { return static_cast<double>(totalEnergy()); },
                 "dedup logic + engine-issued AES energy");
+
+    if (stageProfile_) {
+        // Registered only under DEWRITE_STAGE_PROFILE=1 so the default
+        // registry snapshot stays byte-identical to an unprofiled run.
+        obs::MetricRegistry::Scope stage = scope.scope("stage");
+        stage.gauge("digest_cycles",
+                    [this] {
+                        return static_cast<double>(stageCycles_.digest);
+                    },
+                    "host cycles fingerprinting lines");
+        stage.gauge("probe_cycles",
+                    [this] {
+                        return static_cast<double>(stageCycles_.probe);
+                    },
+                    "host cycles in metadata probes and prefetch");
+        stage.gauge("pad_cycles",
+                    [this] {
+                        return static_cast<double>(stageCycles_.pad);
+                    },
+                    "host cycles generating AES pads");
+        stage.gauge("confirm_read_cycles",
+                    [this] {
+                        return static_cast<double>(
+                            stageCycles_.confirmRead);
+                    },
+                    "host cycles confirming candidates");
+        stage.gauge("commit_cycles",
+                    [this] {
+                        return static_cast<double>(stageCycles_.commit);
+                    },
+                    "host cycles committing writes");
+    }
 }
 
 std::uint64_t
@@ -166,6 +201,123 @@ DedupEngine::chargeCounterAccess(LineAddr slot, Time now)
     return metadata_.access(table, slot, false, now).latency;
 }
 
+const Line &
+DedupEngine::padFor(LineAddr slot, std::uint64_t counter)
+{
+    obs::StageTimer timer(stageSink(stageCycles_.pad));
+    return padCache_.get(cme_, slot, counter);
+}
+
+bool
+DedupEngine::storedEquals(LineAddr slot, const Line &plaintext)
+{
+    // stored == plaintext  <=>  ciphertext == plaintext ^ pad; an
+    // unwritten slot reads as the zero line, whose "decryption" is the
+    // pad itself.
+    const Line *ciphertext = device_.peekPtr(slot);
+    const Line &pad = padFor(slot, effectiveCounter(slot));
+    if (!ciphertext)
+        return plaintext == pad;
+    return equalsXor(*ciphertext, plaintext, pad);
+}
+
+std::uint64_t
+DedupEngine::peekBumpedCounter(LineAddr slot) const
+{
+    const std::uint64_t mask = (1ULL << options_.counterBits) - 1;
+    const std::uint64_t minor = (counterOf(slot) + 1) & mask;
+    const std::uint64_t *major = majors_.find(slot);
+    std::uint64_t high = major ? *major : 0;
+    if (minor == 0)
+        ++high;
+    return (high << options_.counterBits) | minor;
+}
+
+// dewrite-lint: hot
+void
+DedupEngine::prepareBatch(const CtrlWriteRequest *requests,
+                          std::size_t count, std::uint64_t *hashes)
+{
+    DEWRITE_DCHECK(count <= kMaxWriteBatch, "batch of %zu exceeds %zu",
+                   count, kMaxWriteBatch);
+
+    // Round 1: fingerprint every member back to back — pure SIMD CRC
+    // work with no dependent loads between members.
+    {
+        obs::StageTimer timer(stageSink(stageCycles_.digest));
+        for (std::size_t i = 0; i < count; ++i)
+            hashes[i] = fingerprinter_.fingerprint(*requests[i].data);
+    }
+
+    // Round 2: issue every member's metadata prefetches before any
+    // probe result is consumed, so the misses overlap each other
+    // instead of serializing behind one another.
+    {
+        obs::StageTimer timer(stageSink(stageCycles_.probe));
+        for (std::size_t i = 0; i < count; ++i) {
+            const LineAddr addr = requests[i].addr;
+            hashStore_.prefetch(hashes[i]);
+            mapping_.prefetch(addr);
+            invHash_.prefetch(addr);
+            written_.prefetch(addr);
+            device_.prefetchForWrite(addr);
+        }
+    }
+
+    // Round 3: walk the (now warm) buckets and prefetch each live
+    // candidate's stored line and metadata homes — again all members
+    // before any consumption...
+    {
+        obs::StageTimer timer(stageSink(stageCycles_.probe));
+        for (std::size_t i = 0; i < count; ++i) {
+            const ChainView chain = hashStore_.lookup(hashes[i]);
+            unsigned probes = 0;
+            for (std::size_t j = chain.size(); j-- > 0;) {
+                if (++probes > options_.maxChainProbe)
+                    break;
+                const LineAddr slot = chain[j].realAddr;
+                device_.prefetchLine(slot);
+                mapping_.prefetch(slot);
+                invHash_.prefetch(slot);
+            }
+        }
+    }
+
+    // ...then collect the pads the members will need: confirm pads for
+    // each candidate that will be compared, and a predicted in-place
+    // commit pad when the chain is empty (the overwhelmingly likely
+    // unique-commit outcome). Guesses that turn out wrong — a commit
+    // that lands in a different slot, a counter bumped by an earlier
+    // member — simply miss the exact-keyed pad cache and regenerate.
+    std::array<PadRequest, 2 * kMaxWriteBatch> pad_requests;
+    std::size_t num_pads = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const ChainView chain = hashStore_.lookup(hashes[i]);
+        if (chain.size() == 0) {
+            if (num_pads < pad_requests.size()) {
+                pad_requests[num_pads++] = {
+                    requests[i].addr,
+                    peekBumpedCounter(requests[i].addr)
+                };
+            }
+            continue;
+        }
+        unsigned probes = 0;
+        for (std::size_t j = chain.size(); j-- > 0;) {
+            if (++probes > options_.maxChainProbe ||
+                num_pads >= pad_requests.size()) {
+                break;
+            }
+            const LineAddr slot = chain[j].realAddr;
+            pad_requests[num_pads++] = { slot, effectiveCounter(slot) };
+        }
+    }
+    if (num_pads > 0) {
+        obs::StageTimer timer(stageSink(stageCycles_.pad));
+        padCache_.fill(cme_, pad_requests.data(), num_pads);
+    }
+}
+
 bool
 DedupEngine::references(LineAddr init_addr, LineAddr slot) const
 {
@@ -176,16 +328,28 @@ DedupEngine::references(LineAddr init_addr, LineAddr slot) const
 }
 
 DetectOutcome
-DedupEngine::detect(const Line &plaintext, Time now, bool allow_nvm_fill)
+DedupEngine::detect(const Line &plaintext, Time now, bool allow_nvm_fill,
+                    const std::uint64_t *precomputed_hash)
 {
     DetectOutcome out;
-    out.hash = fingerprinter_.fingerprint(plaintext);
+    {
+        // A batch prepared by prepareBatch() hands back the digest it
+        // already computed (same function, same input — identical).
+        obs::StageTimer timer(stageSink(stageCycles_.digest));
+        out.hash = precomputed_hash
+            ? *precomputed_hash
+            : fingerprinter_.fingerprint(plaintext);
+    }
     Time t = now + fingerprinter_.latency();
     energy_ += fingerprinter_.energy(config_.energy);
 
-    const MetadataAccessResult probe = metadata_.access(
-        MetadataTable::HashStore, hashIndex(out.hash), false, t,
-        allow_nvm_fill);
+    MetadataAccessResult probe;
+    {
+        obs::StageTimer timer(stageSink(stageCycles_.probe));
+        probe = metadata_.access(MetadataTable::HashStore,
+                                 hashIndex(out.hash), false, t,
+                                 allow_nvm_fill);
+    }
     t += probe.latency;
 
     if (!probe.hit && !allow_nvm_fill) {
@@ -202,10 +366,7 @@ DedupEngine::detect(const Line &plaintext, Time now, bool allow_nvm_fill)
                 break;
             if (entry.reference == HashStore::kMaxReference)
                 continue;
-            const Line stored = cme_.decryptLine(
-                device_.peek(entry.realAddr), entry.realAddr,
-                effectiveCounter(entry.realAddr));
-            if (stored == plaintext) {
+            if (storedEquals(entry.realAddr, plaintext)) {
                 missedByPna_.increment();
                 break;
             }
@@ -218,19 +379,20 @@ DedupEngine::detect(const Line &plaintext, Time now, bool allow_nvm_fill)
     // Probe newest-first: when a popular content's old records are
     // pinned at the reference cap, its freshest record is the one with
     // spare references.
+    obs::StageTimer confirm_timer(stageSink(stageCycles_.confirmRead));
     const ChainView chain = hashStore_.lookup(out.hash);
     unsigned probes = 0;
     for (std::size_t i = chain.size(); i-- > 0;) {
         const HashEntry &entry = chain[i];
         if (++probes > options_.maxChainProbe)
             break;
-        const Line stored =
-            cme_.decryptLine(device_.peek(entry.realAddr), entry.realAddr,
-                             effectiveCounter(entry.realAddr));
+        // Fused compare against the stored ciphertext — equivalent to
+        // decrypting and comparing, with no 256 B temporaries.
+        const bool matches = storedEquals(entry.realAddr, plaintext);
         if (entry.reference == HashStore::kMaxReference) {
             // Highly referenced line: pinned, not deduplicated against
             // (Section III-B2). Count the elimination this forgoes.
-            if (stored == plaintext)
+            if (matches)
                 missedBySaturation_.increment();
             continue;
         }
@@ -239,9 +401,11 @@ DedupEngine::detect(const Line &plaintext, Time now, bool allow_nvm_fill)
         if (confirm) {
             // Read the candidate and compare byte-by-byte; the OTP for
             // the decryption is generated while the read is in flight.
+            // Only the read's timing matters — the compare already ran
+            // against the functional store.
             const Time counter_latency = chargeCounterAccess(entry.realAddr,
                                                              t);
-            const NvmAccess access = device_.read(entry.realAddr, t);
+            const NvmTiming access = device_.readTimed(entry.realAddr, t);
             const Time otp_ready =
                 t + counter_latency + config_.timing.aesLine;
             energy_ += config_.energy.aesLine();
@@ -249,7 +413,7 @@ DedupEngine::detect(const Line &plaintext, Time now, bool allow_nvm_fill)
                 config_.timing.lineCompare;
             energy_ += config_.energy.compareLine;
             ++out.confirmReads;
-            if (stored == plaintext) {
+            if (matches) {
                 out.duplicate = true;
                 out.dupSlot = entry.realAddr;
                 break;
@@ -262,7 +426,7 @@ DedupEngine::detect(const Line &plaintext, Time now, bool allow_nvm_fill)
             // corruptions trusting the digest would cause.
             out.duplicate = true;
             out.dupSlot = entry.realAddr;
-            if (!(stored == plaintext))
+            if (!matches)
                 unsafeCorruptions_.increment();
             break;
         }
@@ -322,6 +486,7 @@ DedupEngine::commitDuplicate(LineAddr init_addr, const DetectOutcome &detect,
     if (!detect.duplicate)
         panic("commitDuplicate without a confirmed duplicate");
 
+    obs::StageTimer timer(stageSink(stageCycles_.commit));
     WriteCommit commit;
     commit.slot = detect.dupSlot;
 
@@ -362,6 +527,7 @@ WriteCommit
 DedupEngine::commitUnique(LineAddr init_addr, const Line &plaintext,
                           std::uint64_t hash, Time now, Time encrypt_ready)
 {
+    obs::StageTimer timer(stageSink(stageCycles_.commit));
     WriteCommit commit;
     Time t = now;
     LineAddr slot;
@@ -420,12 +586,12 @@ DedupEngine::commitUnique(LineAddr init_addr, const Line &plaintext,
         ciphertext_ready = std::max(encrypt_ready, t);
     }
 
-    const Line ciphertext = cme_.encryptLine(plaintext, slot, counter);
+    const Line ciphertext = plaintext ^ padFor(slot, counter);
     const std::size_t bits = options_.reducer
         ? options_.reducer->onWrite(slot, plaintext, counter)
         : kLineBits;
     const Time write_start = std::max(t, ciphertext_ready);
-    const NvmAccess write = device_.write(slot, ciphertext, write_start,
+    const NvmTiming write = device_.write(slot, ciphertext, write_start,
                                           bits);
 
     // Install the new metadata; these cache updates overlap the 300 ns
@@ -468,7 +634,7 @@ DedupEngine::commitUnique(LineAddr init_addr, const Line &plaintext,
 }
 
 ReadOutcome
-DedupEngine::read(LineAddr init_addr, Time now)
+DedupEngine::read(LineAddr init_addr, Time now, bool want_data)
 {
     ReadOutcome out;
     Time t = now +
@@ -498,13 +664,18 @@ DedupEngine::read(LineAddr init_addr, Time now)
         slot = init_addr;
     }
 
-    const NvmAccess access = device_.read(slot, t);
+    const NvmTiming access = device_.readTimed(slot, t);
     const Time otp_ready =
         t + counter_latency + config_.timing.aesLine;
     energy_ += config_.energy.aesLine();
 
-    out.data = cme_.decryptLine(access.data, slot,
-                                effectiveCounter(slot));
+    if (want_data) {
+        // Decrypt straight from the stored line (an unwritten slot
+        // reads as zero, whose decryption is the pad itself).
+        const Line *ciphertext = device_.peekPtr(slot);
+        const Line &pad = padFor(slot, effectiveCounter(slot));
+        out.data = ciphertext ? (*ciphertext ^ pad) : pad;
+    }
     out.valid = true;
     out.done = std::max(access.complete, otp_ready) +
                config_.timing.otpXor;

@@ -27,6 +27,7 @@
 #include <cstdint>
 
 #include "cache/metadata_cache.hh"
+#include "common/fast_div.hh"
 #include "common/flat_map.hh"
 #include "common/line.hh"
 #include "common/paged_array.hh"
@@ -34,9 +35,11 @@
 #include "common/timing.hh"
 #include "common/types.hh"
 #include "controller/bitlevel/bitflip.hh"
+#include "controller/mem_controller.hh"
 #include "crypto/counter_mode.hh"
 #include "dedup/fingerprint.hh"
 #include "obs/metric_registry.hh"
+#include "obs/stage_profile.hh"
 #include "obs/trace_ring.hh"
 #include "dedup/address_mapping.hh"
 #include "dedup/free_space.hh"
@@ -143,7 +146,29 @@ class DedupEngine
      *        non-authoritative instead of querying the in-NVM table.
      */
     DetectOutcome detect(const Line &plaintext, Time now,
-                         bool allow_nvm_fill);
+                         bool allow_nvm_fill,
+                         const std::uint64_t *precomputed_hash = nullptr);
+
+    /**
+     * Host-side preparation for a batch of writes about to be pushed
+     * through detect()/commit one by one (the batched pipeline of
+     * DESIGN.md §5f). Three rounds, each issuing all its prefetches
+     * before any member consumes a result:
+     *  1. fingerprint every member with the slice-by-8 CRC kernel,
+     *     storing the digests into @p hashes (pass each back to
+     *     detect() as @p precomputed_hash);
+     *  2. prefetch every member's hash-store bucket, mapping /
+     *     inverted-hash / written entries, and NVM store pages;
+     *  3. against the warmed buckets, prefetch each live candidate's
+     *     stored line, then batch-generate the pads the members will
+     *     need (confirm pads for candidates, a predicted in-place
+     *     commit pad for empty chains) through the eight-wide AES
+     *     kernel into the pad cache.
+     * Purely host-side: simulated timing, energy, and metadata state
+     * are untouched, so results are byte-identical with or without it.
+     */
+    void prepareBatch(const CtrlWriteRequest *requests, std::size_t count,
+                      std::uint64_t *hashes);
 
     /**
      * Commits a write whose content detect() confirmed at
@@ -171,7 +196,13 @@ class DedupEngine
                              Time encrypt_ready);
 
     /** Reads logical line @p init_addr through the mapping (Figure 11). */
-    ReadOutcome read(LineAddr init_addr, Time now);
+    /**
+     * Reads logical line @p init_addr. With @p want_data false only
+     * the timing/energy/stat effects are produced (identically) and
+     * the outcome's data stays zero — the host-side decrypt (pad
+     * lookup plus line XOR) is skipped for callers that discard it.
+     */
+    ReadOutcome read(LineAddr init_addr, Time now, bool want_data = true);
 
     /** @{ Structure access for tests and benches. */
     const HashStore &hashStore() const { return hashStore_; }
@@ -272,11 +303,40 @@ class DedupEngine
     /** Hash-store index used for metadata-cache block placement. */
     std::uint64_t hashIndex(std::uint64_t hash) const;
 
+    /**
+     * The OTP pad for (@p slot, @p counter), served from the host-side
+     * pad cache (exact-keyed, so hits are always correct). Charges
+     * nothing; simulated AES time/energy stay with the callers.
+     */
+    const Line &padFor(LineAddr slot, std::uint64_t counter);
+
+    /**
+     * True iff slot @p slot's stored (decrypted) content equals
+     * @p plaintext — the confirm compare, fused over the ciphertext,
+     * plaintext, and pad so no decrypted line is materialized.
+     */
+    bool storedEquals(LineAddr slot, const Line &plaintext);
+
+    /**
+     * The effective counter bumpCounter(@p slot) *would* return,
+     * without mutating anything — used to pre-generate likely commit
+     * pads for a batch.
+     */
+    std::uint64_t peekBumpedCounter(LineAddr slot) const;
+
+    /** Stage-cycle sink for @p cycles, or null when profiling is off. */
+    std::uint64_t *
+    stageSink(std::uint64_t &cycles)
+    {
+        return stageProfile_ ? &cycles : nullptr;
+    }
+
     const SystemConfig &config_;
     NvmDevice &device_;
     MetadataCache &metadata_;
     CounterModeEngine &cme_;
     Options options_;
+    FastDiv hashIndexDiv_; //!< hash % numLines on every store probe.
 
     Fingerprinter fingerprinter_;
     HashStore hashStore_;
@@ -296,6 +356,13 @@ class DedupEngine
 
     /** Logical lines ever written (functional validity only). */
     DenseAddrSet written_;
+
+    /** Host-side memo of generated OTPs (pure optimization). */
+    PadCache padCache_;
+
+    /** Host-cycle stage attribution (DEWRITE_STAGE_PROFILE=1 only). */
+    obs::StageCycles stageCycles_;
+    const bool stageProfile_ = obs::stageProfileEnabled();
 
     Energy energy_ = 0;
 

@@ -68,4 +68,29 @@ InvertedHashTable::setCounter(LineAddr real_addr, std::uint64_t counter)
     entry.value = counter;
 }
 
+bool
+InvertedHashTable::counterIfNoData(LineAddr real_addr,
+                                   std::uint64_t &counter) const
+{
+    const Entry *entry = entries_.find(real_addr);
+    if (!entry) {
+        counter = 0;
+        return true;
+    }
+    if (entry->hasHash)
+        return false;
+    counter = entry->value;
+    return true;
+}
+
+bool
+InvertedHashTable::trySetCounter(LineAddr real_addr, std::uint64_t counter)
+{
+    Entry &entry = entries_.ref(real_addr);
+    if (entry.hasHash)
+        return false;
+    entry.value = counter;
+    return true;
+}
+
 } // namespace dewrite

@@ -27,6 +27,12 @@ class InvertedHashTable
     /** Pre-sizes the table for @p num_lines storage slots. */
     void reserve(std::uint64_t num_lines) { entries_.reserve(num_lines); }
 
+    /** Pure cache-warming hint for slot @p real_addr's entry. */
+    void prefetch(LineAddr real_addr) const
+    {
+        entries_.prefetch(real_addr);
+    }
+
     /** True iff slot @p real_addr currently holds valid data. */
     bool holdsData(LineAddr real_addr) const;
 
@@ -55,6 +61,19 @@ class InvertedHashTable
 
     /** Stores @p counter; the slot must not hold data. */
     void setCounter(LineAddr real_addr, std::uint64_t counter);
+
+    /**
+     * Fused holdsData() + counter() in one table walk: when the slot
+     * holds no data, stores its colocated counter (0 if untouched)
+     * into @p counter and returns true; returns false for data slots.
+     */
+    bool counterIfNoData(LineAddr real_addr, std::uint64_t &counter) const;
+
+    /**
+     * Fused holdsData() + setCounter() in one table walk: stores
+     * @p counter iff the slot holds no data; returns whether it did.
+     */
+    bool trySetCounter(LineAddr real_addr, std::uint64_t counter);
 
     /** Number of slots currently holding valid data. */
     std::size_t dataSlots() const { return dataSlots_; }

@@ -14,7 +14,8 @@ namespace dewrite {
 AddressDecoder::AddressDecoder(unsigned num_banks, unsigned lines_per_row,
                                InterleavePolicy policy)
     : numBanks_(num_banks), linesPerRow_(std::max(1u, lines_per_row)),
-      policy_(policy)
+      policy_(policy), bankDiv_(std::max(1u, num_banks)),
+      rowDiv_(linesPerRow_)
 {
     if (num_banks == 0)
         fatal("address decoder needs at least one bank");
@@ -30,15 +31,15 @@ AddressDecoder::decode(LineAddr addr) const
 {
     switch (policy_) {
       case InterleavePolicy::Line:
-        return { static_cast<unsigned>(addr % numBanks_),
-                 addr / numBanks_ };
+        return { static_cast<unsigned>(bankDiv_.mod(addr)),
+                 bankDiv_.div(addr) };
       case InterleavePolicy::Row: {
-        const std::uint64_t row_group = addr / linesPerRow_;
-        return { static_cast<unsigned>(row_group % numBanks_),
+        const std::uint64_t row_group = rowDiv_.div(addr);
+        return { static_cast<unsigned>(bankDiv_.mod(row_group)),
                  // Row index within the bank; lines of one group share
                  // it, so they share the row buffer.
-                 row_group / numBanks_ * linesPerRow_ +
-                     addr % linesPerRow_ };
+                 bankDiv_.div(row_group) * linesPerRow_ +
+                     rowDiv_.mod(addr) };
       }
     }
     panic("bad interleave policy");

@@ -11,6 +11,7 @@
 #ifndef DEWRITE_NVM_NVM_ADDRESS_HH
 #define DEWRITE_NVM_NVM_ADDRESS_HH
 
+#include "common/fast_div.hh"
 #include "common/types.hh"
 
 namespace dewrite {
@@ -59,6 +60,8 @@ class AddressDecoder
     unsigned numBanks_;
     unsigned linesPerRow_;
     InterleavePolicy policy_;
+    FastDiv bankDiv_; //!< decode() runs on every device access.
+    FastDiv rowDiv_;
 };
 
 } // namespace dewrite

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
+
 namespace dewrite {
 
 NvmDevice::NvmDevice(const SystemConfig &config)
@@ -29,8 +31,8 @@ NvmDevice::rowOf(const DecodedAddr &where) const
     return where.row / std::max(1u, config_.timing.linesPerRow);
 }
 
-NvmAccess
-NvmDevice::read(LineAddr addr, Time now)
+NvmTiming
+NvmDevice::readTimed(LineAddr addr, Time now)
 {
     const DecodedAddr where = decoder_.decode(addr);
     const bool row_hit = openRow_[where.bank] == rowOf(where);
@@ -45,17 +47,23 @@ NvmDevice::read(LineAddr addr, Time now)
     } else {
         energy_ += config_.energy.nvmReadLine();
     }
-
-    NvmAccess access;
-    if (const Line *line = store_.find(addr))
-        access.data = *line;
-    access.start = svc.start;
-    access.complete = svc.complete;
-    access.queueDelay = svc.queueDelay;
-    return access;
+    return { svc.start, svc.complete, svc.queueDelay };
 }
 
 NvmAccess
+NvmDevice::read(LineAddr addr, Time now)
+{
+    const NvmTiming timing = readTimed(addr, now);
+    NvmAccess access;
+    if (const Line *line = store_.find(addr))
+        access.data = *line;
+    access.start = timing.start;
+    access.complete = timing.complete;
+    access.queueDelay = timing.queueDelay;
+    return access;
+}
+
+NvmTiming
 NvmDevice::write(LineAddr addr, const Line &data, Time now,
                  std::size_t bits_written)
 {
@@ -68,12 +76,7 @@ NvmDevice::write(LineAddr addr, const Line &data, Time now,
     energy_ += config_.energy.nvmWritePerBit * bits_written;
     wear_.recordWrite(addr, bits_written);
     store_.refForWrite(addr) = data;
-
-    NvmAccess access;
-    access.start = svc.start;
-    access.complete = svc.complete;
-    access.queueDelay = svc.queueDelay;
-    return access;
+    return { svc.start, svc.complete, svc.queueDelay };
 }
 
 void
@@ -87,11 +90,48 @@ NvmDevice::writeBackground(LineAddr addr, const Line &data,
     store_.refForWrite(addr) = data;
 }
 
+void
+NvmDevice::writeBackgroundZero(LineAddr addr, std::size_t bits_written)
+{
+    numWrites_.increment();
+    numBackgroundWrites_.increment();
+    energy_ += config_.energy.nvmWritePerBit * bits_written;
+    wear_.recordWrite(addr, bits_written);
+#if !defined(NDEBUG) || defined(DEWRITE_FORCE_DCHECKS)
+    // Materializing the line exists only to feed the zero check; in
+    // checked builds keep it, elsewhere skip the page allocation — an
+    // untouched metadata line reads back as zero either way.
+    const Line &slot = store_.refForWrite(addr);
+    DEWRITE_DCHECK(slot.isZero(),
+                   "writeBackgroundZero over non-zero line %llu",
+                   static_cast<unsigned long long>(addr));
+#endif
+}
+
 Line
 NvmDevice::peek(LineAddr addr) const
 {
     const Line *line = store_.find(addr);
     return line ? *line : Line();
+}
+
+const Line *
+NvmDevice::peekPtr(LineAddr addr) const
+{
+    return store_.find(addr);
+}
+
+void
+NvmDevice::prefetchLine(LineAddr addr) const
+{
+    store_.prefetch(addr);
+}
+
+void
+NvmDevice::prefetchForWrite(LineAddr addr) const
+{
+    store_.prefetch(addr);
+    wear_.prefetch(addr);
 }
 
 bool

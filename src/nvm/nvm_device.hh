@@ -31,10 +31,26 @@
 
 namespace dewrite {
 
-/** Result of one device access. */
+/**
+ * Timing outcome of one device access. Carried by every access result;
+ * accesses whose data the caller ignores (writes, metadata fills,
+ * confirm reads that compare in place) return just this, so the hot
+ * path never constructs a 256 B Line it will not read.
+ */
+struct NvmTiming
+{
+    Time start = 0;      //!< When the bank began servicing.
+    Time complete = 0;   //!< When the access finished.
+    Time queueDelay = 0; //!< Bank wait time (start - issue).
+
+    /** Latency experienced by the requester: complete - issue. */
+    Time latency(Time issued_at) const { return complete - issued_at; }
+};
+
+/** Result of one device read: timing plus the content returned. */
 struct NvmAccess
 {
-    Line data;        //!< Content read (reads only; zero line otherwise).
+    Line data;        //!< Content read (zero line if never written).
     Time start;       //!< When the bank began servicing.
     Time complete;    //!< When the access finished.
     Time queueDelay;  //!< Bank wait time (start - issue).
@@ -55,10 +71,18 @@ class NvmDevice
     NvmAccess read(LineAddr addr, Time now);
 
     /**
+     * Identical timing, energy, wear, and counter accounting to read(),
+     * but the content is not returned. For accesses that only need the
+     * completion time (metadata fills, confirm reads that compare
+     * through peekPtr()): charging the read without copying 256 B.
+     */
+    NvmTiming readTimed(LineAddr addr, Time now);
+
+    /**
      * Writes @p data to @p addr, issued at @p now, programming
      * @p bits_written cells (pass kLineBits for a full-line write).
      */
-    NvmAccess write(LineAddr addr, const Line &data, Time now,
+    NvmTiming write(LineAddr addr, const Line &data, Time now,
                     std::size_t bits_written = kLineBits);
 
     /**
@@ -71,8 +95,34 @@ class NvmDevice
     void writeBackground(LineAddr addr, const Line &data,
                          std::size_t bits_written = kLineBits);
 
+    /**
+     * writeBackground() of the all-zero line, with the 256 B store
+     * elided: accounting (write count, energy, wear) is identical and
+     * the address is still marked written, but no content is copied.
+     * The caller guarantees the stored line is already zero (fresh or
+     * only ever zero-written; debug-checked). The metadata and counter
+     * caches write back through this — their simulated region holds no
+     * functional content, so the zero line is exact.
+     */
+    void writeBackgroundZero(LineAddr addr,
+                             std::size_t bits_written = kLineBits);
+
     /** Peeks at content without timing or stats (testing/verification). */
     Line peek(LineAddr addr) const;
+
+    /**
+     * Pointer form of peek(): the stored line, or null if never
+     * written. No timing, stats, or copies; the pointer is stable until
+     * the next write to a new address.
+     */
+    const Line *peekPtr(LineAddr addr) const;
+
+    /** @{ Pure cache-warming hints for an upcoming access to @p addr:
+     * the stored content (reads/compares), plus the wear-tracking entry
+     * for writes. Never allocate; safe to issue speculatively. */
+    void prefetchLine(LineAddr addr) const;
+    void prefetchForWrite(LineAddr addr) const;
+    /** @} */
 
     /** True iff the line has ever been written. */
     bool isWritten(LineAddr addr) const;

@@ -12,7 +12,8 @@ namespace dewrite {
 
 StartGapLeveler::StartGapLeveler(std::uint64_t lines,
                                  std::uint64_t interval)
-    : lines_(lines), interval_(interval), gap_(lines)
+    : lines_(lines), linesDiv_(lines ? lines : 1), interval_(interval),
+      gap_(lines)
 {
     if (lines == 0)
         fatal("start-gap needs at least one line");
@@ -26,7 +27,7 @@ StartGapLeveler::translate(LineAddr logical) const
     // The MICRO'09 formulation: rotate within the N *logical* lines,
     // then skip over the gap slot. The result lies in [0, N] and never
     // equals the gap.
-    std::uint64_t physical = (logical + start_) % lines_;
+    std::uint64_t physical = linesDiv_.mod(logical + start_);
     if (physical >= gap_)
         ++physical;
     return physical;

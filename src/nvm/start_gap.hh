@@ -22,6 +22,7 @@
 
 #include <cstdint>
 
+#include "common/fast_div.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -70,6 +71,7 @@ class StartGapLeveler
 
   private:
     std::uint64_t lines_;    //!< Logical lines; physical = lines_ + 1.
+    FastDiv linesDiv_;       //!< translate() runs on every device access.
     std::uint64_t interval_;
     std::uint64_t start_ = 0;
     std::uint64_t gap_;      //!< Physical index of the empty slot.

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Stage-profile switch implementation.
+ */
+
+#include "obs/stage_profile.hh"
+
+#include "common/env.hh"
+
+namespace dewrite {
+namespace obs {
+
+bool
+stageProfileEnabled()
+{
+    static const bool enabled = envFlag("DEWRITE_STAGE_PROFILE", false);
+    return enabled;
+}
+
+} // namespace obs
+} // namespace dewrite

@@ -7,12 +7,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <memory>
 
 #include "common/crc32.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "dedup/metadata_auditor.hh"
+#include "obs/stage_profile.hh"
 
 namespace dewrite {
 
@@ -37,17 +40,61 @@ appSeed(const AppProfile &profile)
                  profile.name.size());
 }
 
+std::string
+resultSignature(const ExperimentResult &cell)
+{
+    std::string sig;
+    char buf[128];
+    auto addU64 = [&](const char *name, std::uint64_t v) {
+        std::snprintf(buf, sizeof buf, "%s=%" PRIu64 ";", name, v);
+        sig += buf;
+    };
+    auto addF64 = [&](const char *name, double v) {
+        std::snprintf(buf, sizeof buf, "%s=%.17g;", name, v);
+        sig += buf;
+    };
+
+    sig += cell.app + "/" + cell.scheme + ";";
+    const RunResult &r = cell.run;
+    addU64("instructions", r.instructions);
+    addU64("cycles", r.cycles);
+    addU64("events", r.events);
+    addU64("writes", r.writes);
+    addU64("reads", r.reads);
+    addU64("writesEliminated", r.writesEliminated);
+    addF64("ipc", r.ipc);
+    addF64("avgWriteLatencyNs", r.avgWriteLatencyNs);
+    addF64("avgReadLatencyNs", r.avgReadLatencyNs);
+    addU64("totalEnergy", r.totalEnergy);
+    addU64("nvmLineWrites", r.nvmLineWrites);
+    addU64("nvmLineReads", r.nvmLineReads);
+    addU64("bitsProgrammed", r.bitsProgrammed);
+    for (const auto &[name, value] : cell.stats.all())
+        addF64(name.c_str(), value);
+    return sig;
+}
+
+std::uint32_t
+resultFingerprint(const ExperimentResult &cell)
+{
+    const std::string sig = resultSignature(cell);
+    return crc32(reinterpret_cast<const std::uint8_t *>(sig.data()),
+                 sig.size());
+}
+
 std::uint64_t
 experimentEvents()
 {
     // Every bench resolves its event budget here, so this is the
     // shared spot to validate the rest of the experiment environment:
-    // a malformed DEWRITE_LOG, DEWRITE_AUDIT, or DEWRITE_AUDIT_EPOCH
-    // dies before any cell runs (even when auditing is off and the
-    // epoch value would never be read).
+    // a malformed DEWRITE_LOG, DEWRITE_AUDIT, DEWRITE_AUDIT_EPOCH,
+    // DEWRITE_BATCH, or DEWRITE_STAGE_PROFILE dies before any cell
+    // runs (even when the value would never be read).
     logLevel();
     auditEnabled();
     auditEpochWrites();
+    writeBatchSize();
+    obs::stageProfileEnabled();
     return envUint("DEWRITE_EVENTS", 120000, 1, kMaxExperimentEvents);
 }
 

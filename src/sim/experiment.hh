@@ -39,6 +39,19 @@ struct ExperimentResult
 /** Deterministic per-application trace seed. */
 std::uint64_t appSeed(const AppProfile &profile);
 
+/**
+ * Canonical text serialization of every user-visible number an
+ * ExperimentResult carries — the RunResult headline fields and every
+ * controller detail stat. Doubles print with %.17g, which round-trips
+ * IEEE-754 exactly, so two signatures match iff the cells are
+ * bit-identical in every observable counter. The golden parity tests
+ * and the bench parity fingerprints are both built on this.
+ */
+std::string resultSignature(const ExperimentResult &cell);
+
+/** CRC-32 of resultSignature(). */
+std::uint32_t resultFingerprint(const ExperimentResult &cell);
+
 /** Upper bound accepted from DEWRITE_EVENTS (a guard against typos
  * requesting effectively-infinite runs, not a simulator limit). */
 constexpr std::uint64_t kMaxExperimentEvents = 1ULL << 40;

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the huge-page-friendly allocation helpers.
+ */
+
+#include "common/huge_pages.hh"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/paged_array.hh"
+
+namespace dewrite {
+namespace {
+
+TEST(HugePages, SmallAllocationsUsePlainHeap)
+{
+    EXPECT_FALSE(hugeAllocEligible(1));
+    EXPECT_FALSE(hugeAllocEligible(kHugeAllocMinBytes - 1));
+    void *mem = hugeAlloc(4096);
+    ASSERT_NE(mem, nullptr);
+    std::memset(mem, 0xab, 4096);
+    hugeFree(mem, 4096);
+}
+
+TEST(HugePages, LargeAllocationsAreHugePageAligned)
+{
+    EXPECT_TRUE(hugeAllocEligible(kHugeAllocMinBytes));
+    const std::size_t bytes = 3u << 20; // spans two huge pages
+    void *mem = hugeAlloc(bytes);
+    ASSERT_NE(mem, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(mem) % kHugePageBytes, 0u);
+    // The whole rounded region must be writable.
+    std::memset(mem, 0xcd, bytes);
+    hugeFree(mem, bytes);
+}
+
+TEST(HugePages, MakeHugeValueInitializes)
+{
+    struct Block
+    {
+        std::uint64_t words[512];
+    };
+    auto block = makeHuge<Block>();
+    for (std::uint64_t word : block->words)
+        EXPECT_EQ(word, 0u);
+}
+
+TEST(HugePages, AwareAllocatorRoundTripsThroughVector)
+{
+    std::vector<std::uint64_t, HugeAwareAllocator<std::uint64_t>> vec;
+    // Grow past the huge-allocation threshold to exercise both paths.
+    const std::size_t count = (2u << 20) / sizeof(std::uint64_t);
+    for (std::size_t i = 0; i < count; ++i)
+        vec.push_back(i);
+    for (std::size_t i = 0; i < count; i += 4097)
+        EXPECT_EQ(vec[i], i);
+}
+
+TEST(HugePages, DefaultPageEntriesTargetOneHugePage)
+{
+    EXPECT_EQ(pagedArrayDefaultEntries(1), kHugePageBytes);
+    EXPECT_EQ(pagedArrayDefaultEntries(8), kHugePageBytes / 8);
+    EXPECT_EQ(pagedArrayDefaultEntries(256), kHugePageBytes / 256);
+    // Odd sizes round down to a power of two; huge sizes clamp up.
+    EXPECT_EQ(pagedArrayDefaultEntries(24),
+              std::bit_floor(kHugePageBytes / 24));
+    EXPECT_EQ(pagedArrayDefaultEntries(kHugePageBytes), 4096u);
+}
+
+} // namespace
+} // namespace dewrite

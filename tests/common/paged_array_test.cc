@@ -32,7 +32,9 @@ TEST(PagedArray, FindOnUntouchedPageIsNull)
 
 TEST(PagedArray, RefAllocatesAndPersists)
 {
-    PagedArray<std::uint64_t> array;
+    // Explicit page size: the assertions below reason about which
+    // indices share a page (the default tracks the huge-page size).
+    PagedArray<std::uint64_t, 4096> array;
     array.ref(5000) = 42;
     ASSERT_NE(array.find(5000), nullptr);
     EXPECT_EQ(*array.find(5000), 42u);

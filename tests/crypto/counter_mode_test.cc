@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <unordered_set>
+#include <vector>
 
 #include "common/rng.hh"
 
@@ -21,6 +22,58 @@ testKey()
     for (int i = 0; i < 16; ++i)
         key[i] = static_cast<std::uint8_t>(i * 11 + 3);
     return key;
+}
+
+// The batch pad API must be byte-identical to per-pad generation at
+// every count that exercises the internal 8-line chunking: below it,
+// exactly at it, mid-chunk remainders, and multiple full chunks.
+TEST(CounterModeTest, MakePadsMatchesSerialMakePad)
+{
+    const CounterModeEngine cme(testKey());
+    Rng rng(97);
+    for (const std::size_t count : { 1u, 7u, 8u, 9u, 16u, 37u }) {
+        std::vector<PadRequest> requests(count);
+        for (auto &request : requests)
+            request = { rng.next64() % (1u << 20), rng.next64() % 1000 };
+        std::vector<Line> pads(count);
+        cme.makePads(requests.data(), count, pads.data());
+        for (std::size_t i = 0; i < count; ++i) {
+            EXPECT_EQ(pads[i], cme.makePad(requests[i].addr,
+                                           requests[i].counter))
+                << "count " << count << " pad " << i;
+        }
+    }
+}
+
+// PadCache returns the exact pad whether it hits (filled or cached
+// from a previous get) or misses, and fill() speculation with stale
+// counters can never corrupt a later exact-keyed lookup.
+TEST(CounterModeTest, PadCacheAlwaysExact)
+{
+    const CounterModeEngine cme(testKey());
+    PadCache cache;
+    Rng rng(181);
+
+    std::vector<PadRequest> fill(40);
+    for (auto &request : fill)
+        request = { rng.next64() % 512, rng.next64() % 8 };
+    cache.fill(cme, fill.data(), fill.size());
+
+    for (int trial = 0; trial < 2000; ++trial) {
+        const LineAddr addr = rng.next64() % 512;
+        const std::uint64_t counter = rng.next64() % 8;
+        EXPECT_EQ(cache.get(cme, addr, counter),
+                  cme.makePad(addr, counter));
+    }
+
+    // Deliberately wrong speculation: fill pads for counters that will
+    // never be requested, then look up different keys.
+    std::vector<PadRequest> stale(16);
+    for (std::size_t i = 0; i < stale.size(); ++i)
+        stale[i] = { i, 999 };
+    cache.fill(cme, stale.data(), stale.size());
+    for (std::size_t i = 0; i < stale.size(); ++i)
+        EXPECT_EQ(cache.get(cme, i, 7), cme.makePad(i, 7));
 }
 
 TEST(CounterModeTest, EncryptDecryptRoundTrip)

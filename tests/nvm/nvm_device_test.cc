@@ -44,7 +44,7 @@ TEST(NvmDeviceTest, ReadWriteLatenciesMatchConfig)
 {
     SystemConfig config = smallConfig();
     NvmDevice device(config);
-    const NvmAccess write = device.write(1, Line(), 0);
+    const NvmTiming write = device.write(1, Line(), 0);
     EXPECT_EQ(write.latency(0), config.timing.nvmWrite);
     const NvmAccess read = device.read(2, 0); // Different bank.
     EXPECT_EQ(read.latency(0), config.timing.nvmRead);

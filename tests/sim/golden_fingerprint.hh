@@ -1,26 +1,23 @@
 /**
  * @file
  * Deterministic fingerprinting of experiment cells for the golden
- * parity test.
+ * parity tests.
  *
- * A cell's signature serializes every user-visible number an
- * ExperimentResult carries — the RunResult headline fields and every
- * controller detail stat — into one canonical text form; the
- * fingerprint is its CRC-32. The golden constants embedded in
- * golden_parity_test.cc were produced by the pre-FlatMap (node-based
- * std::unordered_map) implementation, so the test proves the flat
- * data-structure migration changed no observable counter by even one
- * bit. Doubles print with %.17g, which round-trips IEEE-754 exactly.
+ * The signature/fingerprint implementation moved into the library
+ * (sim/experiment.hh: resultSignature / resultFingerprint) so the
+ * bench binaries can emit the same parity fingerprints the golden
+ * tests check; this header keeps the historical test-local names. The
+ * golden constants embedded in golden_parity_test.cc were produced by
+ * the pre-FlatMap (node-based std::unordered_map) implementation, so
+ * the test proves later data-structure and batching work changed no
+ * observable counter by even one bit.
  */
 
 #ifndef DEWRITE_TESTS_SIM_GOLDEN_FINGERPRINT_HH
 #define DEWRITE_TESTS_SIM_GOLDEN_FINGERPRINT_HH
 
-#include <cinttypes>
-#include <cstdio>
 #include <string>
 
-#include "common/crc32.hh"
 #include "sim/experiment.hh"
 
 namespace dewrite {
@@ -28,43 +25,13 @@ namespace dewrite {
 inline std::string
 cellSignature(const ExperimentResult &cell)
 {
-    std::string sig;
-    char buf[128];
-    auto addU64 = [&](const char *name, std::uint64_t v) {
-        std::snprintf(buf, sizeof buf, "%s=%" PRIu64 ";", name, v);
-        sig += buf;
-    };
-    auto addF64 = [&](const char *name, double v) {
-        std::snprintf(buf, sizeof buf, "%s=%.17g;", name, v);
-        sig += buf;
-    };
-
-    sig += cell.app + "/" + cell.scheme + ";";
-    const RunResult &r = cell.run;
-    addU64("instructions", r.instructions);
-    addU64("cycles", r.cycles);
-    addU64("events", r.events);
-    addU64("writes", r.writes);
-    addU64("reads", r.reads);
-    addU64("writesEliminated", r.writesEliminated);
-    addF64("ipc", r.ipc);
-    addF64("avgWriteLatencyNs", r.avgWriteLatencyNs);
-    addF64("avgReadLatencyNs", r.avgReadLatencyNs);
-    addU64("totalEnergy", r.totalEnergy);
-    addU64("nvmLineWrites", r.nvmLineWrites);
-    addU64("nvmLineReads", r.nvmLineReads);
-    addU64("bitsProgrammed", r.bitsProgrammed);
-    for (const auto &[name, value] : cell.stats.all())
-        addF64(name.c_str(), value);
-    return sig;
+    return resultSignature(cell);
 }
 
 inline std::uint32_t
 cellFingerprint(const ExperimentResult &cell)
 {
-    const std::string sig = cellSignature(cell);
-    return crc32(reinterpret_cast<const std::uint8_t *>(sig.data()),
-                 sig.size());
+    return resultFingerprint(cell);
 }
 
 } // namespace dewrite

@@ -31,6 +31,10 @@ import sys
 SCHEMA_VERSION = 1
 HEADER = ("bench", "schema_version", "events_per_cell", "threads")
 
+# The per-stage host-cycle breakdown the throughput bench emits per
+# scheme (matches DedupEngine's stage gauges).
+STAGES = ("digest", "probe", "pad", "confirm_read", "commit")
+
 
 class SchemaError(Exception):
     """One report violated the contract; str() is the diagnostic."""
@@ -40,7 +44,52 @@ def fail(path: str, message: str) -> None:
     raise SchemaError(f"{path}: {message}")
 
 
-def check_report(path: str, report: object) -> None:
+def _is_uint(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) \
+        and value >= 0
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_throughput_payload(path: str, report: dict) -> None:
+    """BENCH_throughput carries batching, parity, and stage fields."""
+    if not _is_uint(report.get("write_batch")) \
+            or report.get("write_batch") < 1:
+        fail(path, "'write_batch' must be a positive integer")
+
+    schemes = report.get("schemes")
+    if not isinstance(schemes, list) or not schemes:
+        fail(path, "'schemes' must be a non-empty array")
+    for entry in schemes:
+        if not isinstance(entry, dict):
+            fail(path, "'schemes' entries must be objects")
+        name = entry.get("scheme")
+        if not isinstance(name, str) or not name:
+            fail(path, "scheme entry missing 'scheme' name")
+        if not _is_uint(entry.get("result_fingerprint")):
+            fail(path, f"scheme {name!r}: 'result_fingerprint' must be "
+                       "a non-negative integer")
+        stage_cycles = entry.get("stage_cycles")
+        if not isinstance(stage_cycles, dict):
+            fail(path, f"scheme {name!r}: missing 'stage_cycles' object")
+        for stage in STAGES:
+            if not _is_number(stage_cycles.get(stage)) \
+                    or stage_cycles.get(stage) < 0:
+                fail(path, f"scheme {name!r}: stage_cycles[{stage!r}] "
+                           "must be a non-negative number")
+
+    ratios = report.get("ratios")
+    if not isinstance(ratios, dict):
+        fail(path, "'ratios' must be an object")
+    for name, value in ratios.items():
+        if not _is_number(value) or value < 0:
+            fail(path, f"ratios[{name!r}] must be a non-negative number")
+
+
+def check_report(path: str, report: object,
+                 check_name: bool = True) -> None:
     """Validate one parsed report; raises SchemaError on violation."""
     if not isinstance(report, dict):
         fail(path, "top level must be a JSON object")
@@ -56,7 +105,7 @@ def check_report(path: str, report: object) -> None:
     bench = report["bench"]
     if not isinstance(bench, str) or not bench:
         fail(path, "'bench' must be a non-empty string")
-    if os.path.basename(path) != f"BENCH_{bench}.json":
+    if check_name and os.path.basename(path) != f"BENCH_{bench}.json":
         fail(path, f"file name does not match bench name {bench!r}")
     if report["schema_version"] != SCHEMA_VERSION:
         fail(path, f"schema_version must be {SCHEMA_VERSION}")
@@ -68,14 +117,45 @@ def check_report(path: str, report: object) -> None:
     if report["threads"] < 1:
         fail(path, "'threads' must be at least 1")
 
+    if bench == "throughput":
+        check_throughput_payload(path, report)
 
-def check_file(path: str) -> None:
+
+def check_parity(path_a: str, path_b: str) -> None:
+    """Two throughput reports (e.g. different DEWRITE_BATCH values)
+    must carry identical per-scheme result fingerprints — the batching
+    strict-equivalence contract. Renamed copies are expected here, so
+    the file-name check is skipped."""
+    reports = []
+    for path in (path_a, path_b):
+        report = load_file(path)
+        check_report(path, report, check_name=False)
+        if report["bench"] != "throughput":
+            fail(path, "--parity expects throughput reports")
+        reports.append(report)
+
+    prints = [{e["scheme"]: e["result_fingerprint"]
+               for e in r["schemes"]} for r in reports]
+    if set(prints[0]) != set(prints[1]):
+        fail(path_b, f"scheme sets differ: {sorted(prints[0])} vs "
+                     f"{sorted(prints[1])}")
+    for scheme, fingerprint in prints[0].items():
+        if prints[1][scheme] != fingerprint:
+            fail(path_b, f"parity mismatch for {scheme!r}: "
+                         f"{fingerprint} (in {path_a}) vs "
+                         f"{prints[1][scheme]}")
+
+
+def load_file(path: str) -> object:
     try:
         with open(path, encoding="utf-8") as handle:
-            report = json.load(handle)
+            return json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
         fail(path, f"unreadable or invalid JSON: {error}")
-    check_report(path, report)
+
+
+def check_file(path: str) -> None:
+    check_report(path, load_file(path))
 
 
 def self_test() -> int:
@@ -112,6 +192,65 @@ def self_test() -> int:
             assert expect in str(error), (expect, str(error))
         else:
             raise AssertionError(f"accepted broken report: {expect}")
+
+    def throughput(fingerprint: int = 7, write_batch: int = 16) -> dict:
+        return {"bench": "throughput", "schema_version": SCHEMA_VERSION,
+                "events_per_cell": 6000, "threads": 1,
+                "write_batch": write_batch,
+                "schemes": [{"scheme": "secure-baseline",
+                             "result_fingerprint": fingerprint,
+                             "stage_cycles": {s: 0 for s in STAGES}}],
+                "ratios": {"dewrite-predicted": 0.85}}
+
+    check_report("BENCH_throughput.json", throughput())
+
+    broken_throughput = [
+        ("'write_batch' must be a positive integer",
+         throughput(write_batch=0)),
+        ("'schemes' must be a non-empty array",
+         {**throughput(), "schemes": []}),
+        ("'result_fingerprint' must be",
+         {**throughput(),
+          "schemes": [{"scheme": "x", "result_fingerprint": -1,
+                       "stage_cycles": {s: 0 for s in STAGES}}]}),
+        ("stage_cycles['commit'] must be",
+         {**throughput(),
+          "schemes": [{"scheme": "x", "result_fingerprint": 1,
+                       "stage_cycles": {s: 0 for s in STAGES
+                                        if s != "commit"}}]}),
+        ("'ratios' must be an object",
+         {**throughput(), "ratios": [1.0]}),
+    ]
+    for expect, report in broken_throughput:
+        try:
+            check_report("BENCH_throughput.json", report)
+        except SchemaError as error:
+            assert expect in str(error), (expect, str(error))
+        else:
+            raise AssertionError(f"accepted broken report: {expect}")
+
+    # Parity comparison: identical fingerprints pass, a drifted one is
+    # named in the diagnostic.
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        def dump(name: str, report: dict) -> str:
+            path = os.path.join(tmp, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(report, handle)
+            return path
+
+        a = dump("BENCH_throughput.batch1.json", throughput())
+        b = dump("BENCH_throughput.json", throughput())
+        check_parity(a, b)
+        c = dump("BENCH_throughput.drift.json", throughput(fingerprint=8))
+        try:
+            check_parity(a, c)
+        except SchemaError as error:
+            assert "parity mismatch" in str(error), str(error)
+        else:
+            raise AssertionError("accepted drifted parity fingerprints")
+
     print("check_bench_schema self-test: OK")
     return 0
 
@@ -130,10 +269,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--self-test", action="store_true",
                         help="run the seeded-violation self-test and "
                              "exit")
+    parser.add_argument("--parity", nargs=2, metavar=("A", "B"),
+                        help="compare two throughput reports' "
+                             "per-scheme result fingerprints (the "
+                             "batching strict-equivalence check)")
     args = parser.parse_args(argv)
 
     if args.self_test:
         return self_test()
+
+    if args.parity:
+        try:
+            check_parity(args.parity[0], args.parity[1])
+        except SchemaError as error:
+            print(error, file=sys.stderr)
+            return 1
+        print("parity fingerprints match")
+        return 0
 
     paths = args.files or sorted(
         glob.glob(os.path.join(args.glob_dir, "BENCH_*.json")))
