@@ -19,7 +19,9 @@
 #ifndef DEWRITE_COMMON_HUGE_PAGES_HH
 #define DEWRITE_COMMON_HUGE_PAGES_HH
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <new>
@@ -30,6 +32,32 @@
 #endif
 
 namespace dewrite {
+
+/**
+ * Test hook: while true, the MADV_HUGEPAGE advise step reports failure
+ * without calling the kernel, so tests can pin the fallback path —
+ * the allocation must stay fully usable on 4 KiB pages — on any host,
+ * including ones where madvise never fails. Atomic because allocations
+ * happen from pool workers.
+ */
+inline std::atomic<bool> &
+hugeAdviseForceFailure()
+{
+    static std::atomic<bool> force{ false };
+    return force;
+}
+
+/**
+ * Allocations whose huge-page advise failed (hook-forced or real).
+ * Purely diagnostic: a nonzero count means degraded TLB reach, never
+ * degraded correctness.
+ */
+inline std::atomic<std::uint64_t> &
+hugeAdviseFailures()
+{
+    static std::atomic<std::uint64_t> failures{ 0 };
+    return failures;
+}
 
 /** Transparent-huge-page size on the only platforms we run on. */
 inline constexpr std::size_t kHugePageBytes = 2u << 20;
@@ -58,10 +86,18 @@ hugeAlloc(std::size_t bytes)
     void *mem = std::aligned_alloc(kHugePageBytes, rounded);
     if (!mem)
         throw std::bad_alloc();
+    // Best-effort: a kernel without THP simply ignores the hint, and
+    // a failed advise leaves the region valid on base pages.
+    bool advised = true;
+    if (hugeAdviseForceFailure().load(std::memory_order_relaxed)) {
+        advised = false;
+    } else {
 #if defined(__linux__)
-    // Best-effort: a kernel without THP simply ignores the hint.
-    (void)madvise(mem, rounded, MADV_HUGEPAGE);
+        advised = madvise(mem, rounded, MADV_HUGEPAGE) == 0;
 #endif
+    }
+    if (!advised)
+        hugeAdviseFailures().fetch_add(1, std::memory_order_relaxed);
     return mem;
 }
 

@@ -199,6 +199,15 @@ SecureBaselineController::registerSchemeMetrics(
 {
     counterCache_.registerMetrics(registry.scope("cache.counter"));
 
+    obs::MetricRegistry::Scope pad =
+        registry.scope("controller.pad_cache");
+    pad.counter("hits", padCache_.hitCounter(),
+                "pad lookups served from the host-side memo");
+    pad.counter("misses", padCache_.missCounter(),
+                "pad lookups that regenerated through AES");
+    pad.counter("prefills", padCache_.prefillCounter(),
+                "pads speculatively batch-installed by fill()");
+
     obs::MetricRegistry::Scope shredder =
         registry.scope("controller.shredder");
     shredder.gauge("shredded_writes",

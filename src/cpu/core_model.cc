@@ -32,6 +32,12 @@ CoreModel::run(TraceSource &trace, MemController &controller,
     return runMulti(traces, controller, max_events);
 }
 
+void
+CoreModel::registerMetrics(obs::MetricRegistry::Scope scope) const
+{
+    former_.registerMetrics(scope.scope("batch"));
+}
+
 RunResult
 CoreModel::runMulti(const std::vector<TraceSource *> &traces,
                     MemController &controller, std::uint64_t max_events)
@@ -57,14 +63,6 @@ CoreModel::runMulti(const std::vector<TraceSource *> &traces,
         std::vector<StoreEntry> storeQueue; //!< In-flight writes.
     };
 
-    /** A deferred write, captured before the trace overwrites it. */
-    struct BatchSlot
-    {
-        LineAddr addr = 0;
-        Time now = 0;
-        Line data;
-    };
-
     // The +1 cycle per event is the memory instruction's own issue
     // slot, so IPC can reach but not exceed one per core.
     std::vector<CoreState> cores(traces.size());
@@ -81,36 +79,25 @@ CoreModel::runMulti(const std::vector<TraceSource *> &traces,
     // which replays them in the exact serial order (strict-equivalence
     // contract) but overlaps the host-side work. Any read, a full
     // queue, or a full batch forces the flush first.
-    const std::size_t batchCap = writeBatchSize();
-    std::array<BatchSlot, kMaxWriteBatch> slots;
-    std::size_t batchLen = 0;
+    former_.reset(writeBatchSize());
+    std::array<CtrlWriteResult, kMaxWriteBatch> responses;
 
     RunResult result;
 
-    const auto flush = [&]() {
-        if (batchLen == 0)
+    const auto flush = [&](BatchFormer::FlushReason reason) {
+        if (former_.flush(controller, responses.data(), reason) == 0)
             return;
-        std::array<CtrlWriteRequest, kMaxWriteBatch> requests;
-        std::array<CtrlWriteResult, kMaxWriteBatch> responses;
-        for (std::size_t i = 0; i < batchLen; ++i)
-            requests[i] = { slots[i].addr, &slots[i].data, slots[i].now };
-        controller.writeBatch(requests.data(), responses.data(),
-                              batchLen);
-        for (std::size_t i = 0; i < batchLen; ++i) {
-            if (responses[i].eliminated)
-                ++result.writesEliminated;
-        }
         for (auto &core : cores) {
             for (auto &entry : core.storeQueue) {
                 if (entry.batchSlot >= 0) {
-                    const auto &slot = slots[entry.batchSlot];
-                    entry.complete =
-                        slot.now + responses[entry.batchSlot].latency;
+                    if (responses[entry.batchSlot].eliminated)
+                        ++result.writesEliminated;
+                    entry.complete = former_.slotNow(entry.batchSlot) +
+                                     responses[entry.batchSlot].latency;
                     entry.batchSlot = -1;
                 }
             }
         }
-        batchLen = 0;
     };
 
     for (std::uint64_t issued = 0; issued < max_events; ++issued) {
@@ -134,18 +121,17 @@ CoreModel::runMulti(const std::vector<TraceSource *> &traces,
             // write drains from the persist queue; the core stalls
             // only when the queue is at capacity (ordering is kept by
             // queue FIFO order plus per-bank serialization).
-            DEWRITE_DCHECK(batchLen < batchCap, "batch overflow");
-            slots[batchLen] = { core->pending.addr, core->now,
-                                core->pending.data };
+            const std::size_t slot = former_.stage(
+                core->pending.addr, core->pending.data, core->now);
             core->storeQueue.push_back(
-                { 0, static_cast<std::int32_t>(batchLen) });
-            ++batchLen;
+                { 0, static_cast<std::int32_t>(slot) });
             ++result.writes;
 
             const unsigned depth = std::max(1u, timing_.storeQueueDepth);
-            if (batchLen >= batchCap ||
-                core->storeQueue.size() >= depth) {
-                flush();
+            if (former_.full()) {
+                flush(BatchFormer::FlushReason::BatchFull);
+            } else if (core->storeQueue.size() >= depth) {
+                flush(BatchFormer::FlushReason::QueueFull);
             }
             while (core->storeQueue.size() >= depth) {
                 core->now =
@@ -154,7 +140,7 @@ CoreModel::runMulti(const std::vector<TraceSource *> &traces,
             }
         } else {
             // The controller must observe every staged write first.
-            flush();
+            flush(BatchFormer::FlushReason::Read);
             // The core consumes only the latency, so readTiming lets
             // the scheme skip materializing the decrypted line.
             const CtrlReadResult read =
@@ -170,7 +156,7 @@ CoreModel::runMulti(const std::vector<TraceSource *> &traces,
         core->issueAt =
             core->now + timing_.cycles(core->pending.instGap + 1);
     }
-    flush();
+    flush(BatchFormer::FlushReason::TraceEnd);
 
     Time slowest = 0;
     for (const auto &core : cores)

@@ -19,10 +19,10 @@
 
 #include "common/timing.hh"
 #include "common/types.hh"
+#include "cpu/batch_former.hh"
 
 namespace dewrite {
 
-class MemController;
 class TraceSource;
 
 /**
@@ -78,8 +78,19 @@ class CoreModel
                        MemController &controller,
                        std::uint64_t max_events);
 
+    /**
+     * Registers the batch former's flush-reason counters under
+     * @p scope (the System passes "core"). Host-side accounting only;
+     * simulated results carry no trace of it.
+     */
+    void registerMetrics(obs::MetricRegistry::Scope scope) const;
+
+    /** The write-batch former (counters persist across runs). */
+    const BatchFormer &former() const { return former_; }
+
   private:
     const TimingConfig &timing_;
+    BatchFormer former_;
 };
 
 } // namespace dewrite

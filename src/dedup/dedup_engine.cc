@@ -130,6 +130,14 @@ DedupEngine::registerMetrics(obs::MetricRegistry::Scope scope) const
                 [this] { return static_cast<double>(totalEnergy()); },
                 "dedup logic + engine-issued AES energy");
 
+    obs::MetricRegistry::Scope pad = scope.scope("pad_cache");
+    pad.counter("hits", padCache_.hitCounter(),
+                "pad lookups served from the host-side memo");
+    pad.counter("misses", padCache_.missCounter(),
+                "pad lookups that regenerated through AES");
+    pad.counter("prefills", padCache_.prefillCounter(),
+                "pads speculatively batch-installed by fill()");
+
     if (stageProfile_) {
         // Registered only under DEWRITE_STAGE_PROFILE=1 so the default
         // registry snapshot stays byte-identical to an unprofiled run.

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * TenantMux / ShardPartitionTrace implementation.
+ */
+
+#include "service/tenant_mux.hh"
+
+#include "common/check.hh"
+#include "common/flat_map.hh"
+
+namespace dewrite {
+
+TenantMux::TenantMux(const std::vector<TenantSpec> &tenants,
+                     unsigned burst_max)
+    : burstMax_(burst_max)
+{
+    DEWRITE_CHECK(!tenants.empty(), "mux needs at least one tenant");
+    DEWRITE_CHECK(burst_max >= 1, "burst length must be at least one");
+    streams_.reserve(tenants.size());
+    for (const TenantSpec &tenant : tenants) {
+        streams_.push_back(std::make_unique<SyntheticWorkload>(
+            tenant.profile, tenant.seed));
+    }
+    remaining_ = burstLen(0, 0);
+}
+
+unsigned
+TenantMux::burstLen(std::uint64_t tenant, std::uint64_t round) const
+{
+    // A pure hash of the visit keeps arrivals bursty but replayable.
+    const std::uint64_t mixed =
+        flatMix64(round * 0x9e3779b97f4a7c15ULL + tenant + 1);
+    return 1 + static_cast<unsigned>(mixed % burstMax_);
+}
+
+void
+TenantMux::next(MemEvent &event, std::uint64_t &tenant)
+{
+    while (remaining_ == 0) {
+        if (++current_ == streams_.size()) {
+            current_ = 0;
+            ++round_;
+        }
+        remaining_ = burstLen(current_, round_);
+    }
+    --remaining_;
+    tenant = current_;
+    const bool alive = streams_[current_]->next(event);
+    DEWRITE_CHECK(alive, "synthetic tenant stream ended unexpectedly");
+}
+
+ShardPartitionTrace::ShardPartitionTrace(
+    const std::vector<TenantSpec> &tenants, unsigned burst_max,
+    const ShardRouter &router, std::size_t shard)
+    : mux_(tenants, burst_max), router_(router), shard_(shard)
+{
+}
+
+bool
+ShardPartitionTrace::next(MemEvent &event)
+{
+    // Draw from the canonical order until an event routes here. The
+    // skipped events belong to other shards; their instruction gaps are
+    // theirs too, so nothing of them leaks into this shard's timing.
+    for (;;) {
+        std::uint64_t tenant = 0;
+        mux_.next(event, tenant);
+        const std::uint64_t g = router_.globalKey(tenant, event.addr);
+        if (router_.shardOf(g) == shard_) {
+            event.addr = router_.localAddr(g);
+            return true;
+        }
+    }
+}
+
+} // namespace dewrite

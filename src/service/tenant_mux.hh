@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic multi-tenant ingest: many tenant streams, one canonical
+ * global order.
+ *
+ * A TenantMux owns one synthetic workload per tenant and interleaves
+ * them in bursty round-robin order: tenants are visited cyclically and
+ * each visit drains a burst whose length is a pure hash of (tenant,
+ * round) — the arrival pattern of a service front-end multiplexing
+ * independent clients, with no randomness that could differ between
+ * runs. The resulting event sequence *is* the canonical global order:
+ * the service routes it to shards as it is drawn, and a reference run
+ * replays exactly the same sequence (ShardPartitionTrace) filtered to
+ * one shard. Determinism of the parity contract rests entirely on this
+ * order being a function of the construction parameters.
+ */
+
+#ifndef DEWRITE_SERVICE_TENANT_MUX_HH
+#define DEWRITE_SERVICE_TENANT_MUX_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "service/shard_router.hh"
+#include "trace/trace.hh"
+#include "trace/trace_gen.hh"
+
+namespace dewrite {
+
+/** One tenant of the service: its workload profile and trace seed. */
+struct TenantSpec
+{
+    AppProfile profile;
+    std::uint64_t seed = 0;
+};
+
+class TenantMux
+{
+  public:
+    /**
+     * Multiplexes @p tenants streams with bursts of 1..@p burst_max
+     * events per visit.
+     */
+    TenantMux(const std::vector<TenantSpec> &tenants,
+              unsigned burst_max);
+
+    std::size_t tenants() const { return streams_.size(); }
+
+    /**
+     * Draws the next event of the canonical global order and reports
+     * which tenant issued it. Synthetic streams are unbounded, so this
+     * always succeeds.
+     */
+    void next(MemEvent &event, std::uint64_t &tenant);
+
+  private:
+    /** Burst length for @p tenant's @p round-th visit (pure hash). */
+    unsigned burstLen(std::uint64_t tenant, std::uint64_t round) const;
+
+    std::vector<std::unique_ptr<SyntheticWorkload>> streams_;
+    unsigned burstMax_;
+    std::uint64_t current_ = 0;   //!< Tenant being drained.
+    std::uint64_t round_ = 0;     //!< Completed round-robin cycles.
+    unsigned remaining_ = 0;      //!< Events left in the current burst.
+};
+
+/**
+ * The canonical global order filtered to one shard, as a TraceSource
+ * with shard-local addresses — what an independent single-shard System
+ * run consumes to reproduce exactly the event subsequence the service
+ * fed that shard. Owns its own TenantMux built from the same specs, so
+ * a reference run shares no state with the service it checks.
+ */
+class ShardPartitionTrace : public TraceSource
+{
+  public:
+    ShardPartitionTrace(const std::vector<TenantSpec> &tenants,
+                        unsigned burst_max, const ShardRouter &router,
+                        std::size_t shard);
+
+    bool next(MemEvent &event) override;
+
+  private:
+    TenantMux mux_;
+    const ShardRouter &router_;
+    std::size_t shard_;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_SERVICE_TENANT_MUX_HH

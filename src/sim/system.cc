@@ -56,6 +56,7 @@ System::System(const SystemConfig &config, const SchemeOptions &scheme,
         [this] { return static_cast<double>(now_); },
         "simulated time of the direct API");
     device_.registerMetrics(registry_.scope("device"));
+    core_.registerMetrics(registry_.scope("core"));
     controller_->registerMetrics(registry_);
 }
 

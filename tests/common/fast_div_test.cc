@@ -82,6 +82,42 @@ TEST(FastDivTest, MatchesHardwareDivider)
     }
 }
 
+TEST(FastDivTest, DivisorOneIsIdentity)
+{
+    // The service's default DEWRITE_SHARDS=1 routes every key through
+    // this degenerate divisor, so it gets its own pin: div is the
+    // identity and mod is always zero, including at the extremes.
+    const FastDiv fast(1);
+    const std::uint64_t values[] = { 0, 1, 2, 12345,
+                                     std::uint64_t{ 1 } << 32,
+                                     ~std::uint64_t{ 0 } };
+    for (const std::uint64_t n : values) {
+        EXPECT_EQ(fast.div(n), n);
+        EXPECT_EQ(fast.mod(n), 0u);
+    }
+}
+
+TEST(FastDivTest, ShardCountModuli)
+{
+    // Every legal DEWRITE_SHARDS value is a FastDiv divisor on the
+    // service's routing hot path; all 64 must satisfy the division
+    // identity and match the hardware operators.
+    Rng rng(0x5a4dc0de5ULL);
+    for (std::uint64_t shards = 1; shards <= 64; ++shards) {
+        const FastDiv fast(shards);
+        for (const std::uint64_t n : interestingValues(shards)) {
+            EXPECT_EQ(fast.div(n), n / shards) << "n=" << n;
+            EXPECT_EQ(fast.mod(n), n % shards) << "n=" << n;
+            EXPECT_EQ(fast.div(n) * shards + fast.mod(n), n);
+        }
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint64_t n = rng.next64();
+            ASSERT_EQ(fast.div(n), n / shards) << "n=" << n;
+            ASSERT_EQ(fast.mod(n), n % shards) << "n=" << n;
+        }
+    }
+}
+
 TEST(FastDivTest, DefaultDividesByOne)
 {
     const FastDiv fast;

@@ -61,6 +61,37 @@ TEST(HugePages, AwareAllocatorRoundTripsThroughVector)
         EXPECT_EQ(vec[i], i);
 }
 
+TEST(HugePages, ForcedAdviseFailureFallsBackToBasePages)
+{
+    // The force hook makes the MADV_HUGEPAGE step fail on any host;
+    // the allocation must come back aligned and fully usable anyway —
+    // a failed advise degrades only TLB reach, never correctness.
+    const std::uint64_t before = hugeAdviseFailures().load();
+    hugeAdviseForceFailure().store(true);
+    const std::size_t bytes = 3u << 20;
+    void *mem = hugeAlloc(bytes);
+    hugeAdviseForceFailure().store(false);
+
+    ASSERT_NE(mem, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(mem) % kHugePageBytes, 0u);
+    std::memset(mem, 0xef, bytes);
+    hugeFree(mem, bytes);
+    EXPECT_EQ(hugeAdviseFailures().load(), before + 1);
+}
+
+TEST(HugePages, IneligibleAllocationsNeverCountAdviseFailures)
+{
+    // The plain-heap path has no advise step, so the hook must not
+    // make small allocations look degraded.
+    const std::uint64_t before = hugeAdviseFailures().load();
+    hugeAdviseForceFailure().store(true);
+    void *mem = hugeAlloc(4096);
+    hugeAdviseForceFailure().store(false);
+    ASSERT_NE(mem, nullptr);
+    hugeFree(mem, 4096);
+    EXPECT_EQ(hugeAdviseFailures().load(), before);
+}
+
 TEST(HugePages, DefaultPageEntriesTargetOneHugePage)
 {
     EXPECT_EQ(pagedArrayDefaultEntries(1), kHugePageBytes);

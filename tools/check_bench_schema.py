@@ -88,6 +88,52 @@ def check_throughput_payload(path: str, report: dict) -> None:
             fail(path, f"ratios[{name!r}] must be a non-negative number")
 
 
+def check_service_payload(path: str, report: dict) -> None:
+    """BENCH_service carries the shard-scaling sweep plus the per-shard
+    service/reference fingerprint pairs the parity mode verifies."""
+    if not _is_uint(report.get("write_batch")) \
+            or report.get("write_batch") < 1:
+        fail(path, "'write_batch' must be a positive integer")
+    if not _is_uint(report.get("host_cpus")) \
+            or report.get("host_cpus") < 1:
+        fail(path, "'host_cpus' must be a positive integer")
+
+    configs = report.get("configs")
+    if not isinstance(configs, list) or not configs:
+        fail(path, "'configs' must be a non-empty array")
+    for entry in configs:
+        if not isinstance(entry, dict):
+            fail(path, "'configs' entries must be objects")
+        shards = entry.get("shards")
+        if not _is_uint(shards) or shards < 1:
+            fail(path, "config missing a positive 'shards' count")
+        for key in ("threads", "events"):
+            if not _is_uint(entry.get(key)):
+                fail(path, f"config shards={shards}: {key!r} must be a "
+                           "non-negative integer")
+        for key in ("wall_seconds", "events_per_sec",
+                    "speedup_vs_1shard"):
+            if not _is_number(entry.get(key)) or entry.get(key) < 0:
+                fail(path, f"config shards={shards}: {key!r} must be a "
+                           "non-negative number")
+        detail = entry.get("shards_detail")
+        if not isinstance(detail, list) or len(detail) != shards:
+            fail(path, f"config shards={shards}: 'shards_detail' must "
+                       f"be an array of exactly {shards} entries")
+        for shard in detail:
+            if not isinstance(shard, dict) \
+                    or not _is_uint(shard.get("shard")) \
+                    or not _is_uint(shard.get("events")) \
+                    or not _is_uint(shard.get("service_fingerprint")) \
+                    or not _is_uint(shard.get("reference_fingerprint")):
+                fail(path, f"config shards={shards}: shards_detail "
+                           "entries need uint shard/events/"
+                           "service_fingerprint/reference_fingerprint")
+
+    if not isinstance(report.get("parity_ok"), bool):
+        fail(path, "'parity_ok' must be a boolean")
+
+
 def check_report(path: str, report: object,
                  check_name: bool = True) -> None:
     """Validate one parsed report; raises SchemaError on violation."""
@@ -119,6 +165,28 @@ def check_report(path: str, report: object,
 
     if bench == "throughput":
         check_throughput_payload(path, report)
+    elif bench == "service":
+        check_service_payload(path, report)
+
+
+def check_service_parity(path: str) -> None:
+    """One service report: every shard of every configuration must have
+    recorded identical service and reference fingerprints — the sharded
+    run is bit-equivalent to N independent single-shard runs."""
+    report = load_file(path)
+    check_report(path, report, check_name=False)
+    if report["bench"] != "service":
+        fail(path, "single-file --parity expects a service report")
+    for entry in report["configs"]:
+        for shard in entry["shards_detail"]:
+            if shard["service_fingerprint"] \
+                    != shard["reference_fingerprint"]:
+                fail(path, f"parity mismatch at shards="
+                           f"{entry['shards']} shard {shard['shard']}: "
+                           f"service {shard['service_fingerprint']} vs "
+                           f"reference {shard['reference_fingerprint']}")
+    if not report["parity_ok"]:
+        fail(path, "report flags parity_ok=false")
 
 
 def check_parity(path_a: str, path_b: str) -> None:
@@ -229,6 +297,54 @@ def self_test() -> int:
         else:
             raise AssertionError(f"accepted broken report: {expect}")
 
+    def service(reference: int = 7, parity_ok: bool = True) -> dict:
+        return {"bench": "service", "schema_version": SCHEMA_VERSION,
+                "events_per_cell": 6000, "threads": 1,
+                "write_batch": 16, "host_cpus": 1, "tenants": 16,
+                "configs": [{"shards": 1, "threads": 1, "events": 6000,
+                             "wall_seconds": 0.5,
+                             "events_per_sec": 12000.0,
+                             "speedup_vs_1shard": 1.0,
+                             "shards_detail": [
+                                 {"shard": 0, "events": 6000,
+                                  "service_fingerprint": 7,
+                                  "reference_fingerprint": reference}]}],
+                "parity_ok": parity_ok}
+
+    check_report("BENCH_service.json", service())
+
+    broken_service = [
+        ("'host_cpus' must be a positive integer",
+         {**service(), "host_cpus": 0}),
+        ("'configs' must be a non-empty array",
+         {**service(), "configs": []}),
+        ("missing a positive 'shards' count",
+         {**service(),
+          "configs": [{**service()["configs"][0], "shards": 0}]}),
+        ("'speedup_vs_1shard' must be a non-negative number",
+         {**service(),
+          "configs": [{**service()["configs"][0],
+                       "speedup_vs_1shard": -1.0}]}),
+        ("'shards_detail' must be an array of exactly",
+         {**service(),
+          "configs": [{**service()["configs"][0],
+                       "shards_detail": []}]}),
+        ("shards_detail entries need uint",
+         {**service(),
+          "configs": [{**service()["configs"][0],
+                       "shards_detail": [{"shard": 0, "events": 1,
+                                          "service_fingerprint": 7}]}]}),
+        ("'parity_ok' must be a boolean",
+         {**service(), "parity_ok": "yes"}),
+    ]
+    for expect, report in broken_service:
+        try:
+            check_report("BENCH_service.json", report)
+        except SchemaError as error:
+            assert expect in str(error), (expect, str(error))
+        else:
+            raise AssertionError(f"accepted broken report: {expect}")
+
     # Parity comparison: identical fingerprints pass, a drifted one is
     # named in the diagnostic.
     import tempfile
@@ -251,6 +367,25 @@ def self_test() -> int:
         else:
             raise AssertionError("accepted drifted parity fingerprints")
 
+        # Single-file service parity: matching fingerprints pass, a
+        # shard that diverged from its reference is named.
+        check_service_parity(dump("BENCH_service.json", service()))
+        try:
+            check_service_parity(
+                dump("BENCH_service.drift.json", service(reference=8)))
+        except SchemaError as error:
+            assert "parity mismatch at shards=1 shard 0" in str(error), \
+                str(error)
+        else:
+            raise AssertionError("accepted drifted service parity")
+        try:
+            check_service_parity(
+                dump("BENCH_service.flag.json", service(parity_ok=False)))
+        except SchemaError as error:
+            assert "parity_ok=false" in str(error), str(error)
+        else:
+            raise AssertionError("accepted parity_ok=false report")
+
     print("check_bench_schema self-test: OK")
     return 0
 
@@ -269,18 +404,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--self-test", action="store_true",
                         help="run the seeded-violation self-test and "
                              "exit")
-    parser.add_argument("--parity", nargs=2, metavar=("A", "B"),
-                        help="compare two throughput reports' "
-                             "per-scheme result fingerprints (the "
-                             "batching strict-equivalence check)")
+    parser.add_argument("--parity", nargs="+", metavar="REPORT",
+                        help="with two throughput reports, compare "
+                             "their per-scheme result fingerprints "
+                             "(the batching strict-equivalence check); "
+                             "with one service report, verify each "
+                             "shard's service fingerprint against its "
+                             "recorded independent reference")
     args = parser.parse_args(argv)
 
     if args.self_test:
         return self_test()
 
     if args.parity:
+        if len(args.parity) > 2:
+            parser.error("--parity takes one service report or two "
+                         "throughput reports")
         try:
-            check_parity(args.parity[0], args.parity[1])
+            if len(args.parity) == 1:
+                check_service_parity(args.parity[0])
+            else:
+                check_parity(args.parity[0], args.parity[1])
         except SchemaError as error:
             print(error, file=sys.stderr)
             return 1

@@ -34,6 +34,15 @@ Rules
                           envFlag()/envUint() (which reject malformed
                           values fatally); raw envRaw() access is
                           reserved for src/common/{env,logging}.
+  env-knob-registry       every DEWRITE_* name passed to an env access
+                          call (envFlag/envUint/envRaw/getenv/setenv/
+                          unsetenv) must appear in KNOWN_KNOBS below.
+                          The catalogue is the single authoritative
+                          list of environment knobs; adding a variable
+                          without registering it here (and documenting
+                          it in README.md) is the defect this rule
+                          catches — typos like DEWRITE_SHARD silently
+                          reading the default instead of failing.
 
 Suppression
   // dewrite-lint: allow(rule-name)       this line and the next
@@ -119,7 +128,33 @@ RULES = [
                  "reserved for the env/logging layer"),
 ]
 
-RULE_NAMES = {rule.name for rule in RULES}
+# The authoritative environment-knob catalogue (env-knob-registry).
+# Every knob is parsed in src/common/ or documented in README.md; add
+# new names here in the same change that introduces them.
+KNOWN_KNOBS = frozenset({
+    "DEWRITE_AUDIT",         # run-end + epoch metadata audits
+    "DEWRITE_AUDIT_EPOCH",   # audit cadence in events
+    "DEWRITE_BATCH",         # write-batch capacity (1..kMaxWriteBatch)
+    "DEWRITE_EVENTS",        # events per experiment cell
+    "DEWRITE_LOG",           # log level
+    "DEWRITE_SHARDS",        # service shard count (1..64)
+    "DEWRITE_STAGE_PROFILE", # per-stage host-cycle attribution
+    "DEWRITE_THREADS",       # runner / service worker threads
+})
+
+# Calls whose first argument names an environment variable. The knob
+# literal is inspected on the raw line (strip_code erases string
+# contents), but only when the call itself survives comment stripping.
+ENV_CALL_RE = re.compile(
+    r"\b(?P<call>envFlag|envUint|envRaw|getenv|setenv|unsetenv)\s*\(\s*"
+    r"\"(?P<knob>DEWRITE_[A-Z0-9_]*)\"")
+ENV_KNOB_RULE = "env-knob-registry"
+ENV_KNOB_DIRS = ("src", "tests", "bench", "examples")
+# The env unit test exercises the parser with a fixture variable that
+# is deliberately not a real knob.
+ENV_KNOB_EXEMPT = ("tests/common/env_test.cc",)
+
+RULE_NAMES = {rule.name for rule in RULES} | {ENV_KNOB_RULE}
 
 
 def strip_code(lines: list[str]) -> list[str]:
@@ -249,6 +284,24 @@ def lint_text(rel: str, text: str) -> list[tuple[str, int, str, str]]:
             if rule.name in allow.get(lineno, ()):
                 continue
             violations.append((rel, lineno, rule.name, rule.message))
+
+    if top in ENV_KNOB_DIRS and rel not in ENV_KNOB_EXEMPT \
+            and ENV_KNOB_RULE not in allow_file:
+        for lineno, line in enumerate(lines, 1):
+            for match in ENV_CALL_RE.finditer(line):
+                # Skip calls that only exist inside comments.
+                if match.group("call") not in code[lineno - 1]:
+                    continue
+                if match.group("knob") in KNOWN_KNOBS:
+                    continue
+                if ENV_KNOB_RULE in allow.get(lineno, ()):
+                    continue
+                violations.append(
+                    (rel, lineno, ENV_KNOB_RULE,
+                     f"'{match.group('knob')}' is not in the "
+                     "KNOWN_KNOBS catalogue (tools/dewrite_lint.py); "
+                     "register new environment knobs there and "
+                     "document them in README.md"))
     violations.sort(key=lambda row: (row[0], row[1], row[2]))
     return violations
 
@@ -311,6 +364,8 @@ def self_test() -> int:
         "const char *f = envRaw(\"DEWRITE_Y\");",   # fail-fast  (14)
         "// std::unordered_set<int> in a comment is fine",
         "const char *s = \"rand( in a string is fine\";",
+        "std::uint64_t n = envUint(\"DEWRITE_SHRADS\", 1, 1, 8);",
+        "std::uint64_t k = envUint(\"DEWRITE_SHARDS\", 1, 1, 64);",
     ])
     rows = lint_text("src/seeded.cc", seeded)
     fired = {(line, rule) for _f, line, rule, _m in rows}
@@ -323,7 +378,11 @@ def self_test() -> int:
         (9, "hot-path-alloc"),
         (10, "hot-path-alloc"),
         (13, "env-getenv-funnel"),
+        (13, "env-knob-registry"),   # DEWRITE_X is not a real knob
         (14, "env-fail-fast"),
+        (14, "env-knob-registry"),   # neither is DEWRITE_Y
+        (17, "env-knob-registry"),   # typo'd DEWRITE_SHRADS caught
+        # line 18: DEWRITE_SHARDS is registered -> silent
     }
     assert fired == expect, f"seeded mismatch: {sorted(fired)}"
 
@@ -352,6 +411,25 @@ def self_test() -> int:
     # forEachSorted never trips the unsorted-iteration rule.
     assert lint_text("src/x.cc", "m.forEachSorted(f);") == []
 
+    # env-knob-registry: registered knobs pass in every scoped dir,
+    # setenv of an unknown knob fires in tests/, allow() suppresses,
+    # a knob mentioned only in a comment is fine, and the env unit
+    # test's fixture variable is exempt.
+    assert lint_text("tests/t.cc",
+                     "setenv(\"DEWRITE_AUDIT\", \"1\", 1);") == []
+    rows = lint_text("tests/t.cc",
+                     "setenv(\"DEWRITE_BOGUS\", \"1\", 1);")
+    assert [(r[1], r[2]) for r in rows] == [(1, "env-knob-registry")], \
+        rows
+    assert lint_text(
+        "tests/t.cc",
+        "// dewrite-lint: allow(env-knob-registry) fixture\n"
+        "setenv(\"DEWRITE_BOGUS\", \"1\", 1);") == []
+    assert lint_text("tests/t.cc",
+                     "// envUint(\"DEWRITE_BOGUS\") in a comment") == []
+    assert lint_text("tests/common/env_test.cc",
+                     "setenv(\"DEWRITE_ENV_TEST_VAR\", \"1\", 1);") == []
+
     print("dewrite_lint self-test: OK")
     return 0
 
@@ -379,6 +457,9 @@ def main(argv: list[str] | None = None) -> int:
         for rule in RULES:
             scope = ", ".join(rule.dirs)
             print(f"{rule.name}  [{scope}]\n    {rule.message}")
+        print(f"{ENV_KNOB_RULE}  [{', '.join(ENV_KNOB_DIRS)}]\n"
+              f"    DEWRITE_* names in env calls must be registered in "
+              f"KNOWN_KNOBS ({len(KNOWN_KNOBS)} registered)")
         return 0
     if args.self_test:
         return self_test()
@@ -406,7 +487,7 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 1
     print(f"dewrite-lint clean: {len(files)} files, "
-          f"{len(RULES)} rules")
+          f"{len(RULES) + 1} rules")
     return 0
 
 
