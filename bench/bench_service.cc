@@ -126,6 +126,14 @@ main(int argc, char **argv)
         }
         parity_ok = parity_ok && row.parityOk();
         rows.push_back(std::move(row));
+
+        if (service.telemetrySink().enabled()) {
+            std::printf("telemetry: %llu snapshot(s) -> %s (+ %s)\n",
+                        static_cast<unsigned long long>(
+                            service.telemetrySnapshots()),
+                        service.telemetrySink().jsonlPath().c_str(),
+                        service.telemetrySink().promPath().c_str());
+        }
     }
 
     const double base_eps = rows.front().eventsPerSec;

@@ -55,6 +55,7 @@ struct SchemeTiming
 
     std::uint32_t fingerprint = 0;    //!< CRC-32 over cell signatures.
     double stageCycles[5] = { 0.0 };  //!< Summed over cells.
+    bool hasStageCycles = false;      //!< Any stage sample observed.
 
     double eventsPerSec() const
     {
@@ -109,6 +110,7 @@ main(int argc, char **argv)
                                                    "stage.") +
                                            kStageNames[s] + "_cycles") {
                         timing.stageCycles[s] += sample.value;
+                        timing.hasStageCycles = true;
                     }
                 }
             }
@@ -162,11 +164,16 @@ main(int argc, char **argv)
         w.field("events_per_sec", t.eventsPerSec());
         w.field("result_fingerprint",
                 static_cast<std::uint64_t>(t.fingerprint));
-        w.key("stage_cycles");
-        w.beginObject();
-        for (std::size_t s = 0; s < 5; ++s)
-            w.field(kStageNames[s], t.stageCycles[s]);
-        w.endObject();
+        // Only schemes that registered stage gauges (dedup modes under
+        // DEWRITE_STAGE_PROFILE) carry the block; an all-zero block
+        // for the secure baseline would read as "profiled, free".
+        if (t.hasStageCycles) {
+            w.key("stage_cycles");
+            w.beginObject();
+            for (std::size_t s = 0; s < 5; ++s)
+                w.field(kStageNames[s], t.stageCycles[s]);
+            w.endObject();
+        }
         w.key("profile");
         t.profile.writeJson(w);
         w.endObject();

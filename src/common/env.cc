@@ -53,4 +53,24 @@ envUint(const char *name, std::uint64_t fallback, std::uint64_t min,
     return parsed;
 }
 
+const std::vector<const char *> &
+knownKnobs()
+{
+    // Keep sorted and in lockstep with KNOWN_KNOBS in
+    // tools/dewrite_lint.py (the lint cross-checks this list).
+    static const std::vector<const char *> knobs = {
+        "DEWRITE_AUDIT",
+        "DEWRITE_AUDIT_EPOCH",
+        "DEWRITE_BATCH",
+        "DEWRITE_EVENTS",
+        "DEWRITE_LOG",
+        "DEWRITE_SHARDS",
+        "DEWRITE_STAGE_PROFILE",
+        "DEWRITE_TELEMETRY",
+        "DEWRITE_TELEMETRY_EVERY",
+        "DEWRITE_THREADS",
+    };
+    return knobs;
+}
+
 } // namespace dewrite

@@ -19,6 +19,7 @@
 #define DEWRITE_COMMON_ENV_HH
 
 #include <cstdint>
+#include <vector>
 
 namespace dewrite {
 
@@ -45,6 +46,15 @@ bool envFlag(const char *name, bool fallback);
  */
 std::uint64_t envUint(const char *name, std::uint64_t fallback,
                       std::uint64_t min, std::uint64_t max);
+
+/**
+ * Every DEWRITE_* environment knob the simulator recognizes, sorted.
+ * Mirrors (and is cross-checked by dewrite-lint against) the
+ * KNOWN_KNOBS catalogue in tools/dewrite_lint.py; bench provenance
+ * stamps the live value of each so a BENCH_*.json is reproducible
+ * from its own header.
+ */
+const std::vector<const char *> &knownKnobs();
 
 } // namespace dewrite
 

@@ -37,6 +37,29 @@ MemController::registerMetrics(obs::MetricRegistry &registry) const
                   "write-back latency (mean)");
     c.accumulator("read_latency_ps", readLatency_,
                   "fetch latency (mean)");
+
+    // Quantile views over the base-class histograms. Registered here
+    // so every scheme exposes identical paths (scheme-comparable);
+    // deliberately no legacy StatSet names — host-side observability
+    // must stay out of the golden result fingerprints.
+    const auto quantiles = [](obs::MetricRegistry::Scope scope,
+                              const obs::LatencyHistogram &hist) {
+        const obs::LatencyHistogram *h = &hist;
+        scope.gauge("p50_ps",
+                    [h] { return static_cast<double>(h->p50()); },
+                    "median request latency (ps)");
+        scope.gauge("p99_ps",
+                    [h] { return static_cast<double>(h->p99()); },
+                    "p99 request latency (ps)");
+        scope.gauge("p999_ps",
+                    [h] { return static_cast<double>(h->p999()); },
+                    "p99.9 request latency (ps)");
+        scope.gauge("max_ps",
+                    [h] { return static_cast<double>(h->max()); },
+                    "maximum request latency (ps)");
+    };
+    quantiles(c.scope("write_latency"), writeLatencyHist_);
+    quantiles(c.scope("read_latency"), readLatencyHist_);
     c.gauge("energy_pj",
             [this] { return static_cast<double>(controllerEnergy()); },
             "controller-side energy");

@@ -17,6 +17,7 @@
 #include "common/line.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/latency_histogram.hh"
 #include "obs/metric_registry.hh"
 
 namespace dewrite {
@@ -134,6 +135,22 @@ class MemController
     double avgWriteLatency() const { return writeLatency_.mean(); }
     double avgReadLatency() const { return readLatency_.mean(); }
 
+    /**
+     * @{ Full latency distributions, bucketed at noteWrite/noteRead —
+     * the base class records them, so every scheme (secure baseline
+     * included) exposes the same "controller.{write,read}_latency.*"
+     * quantile paths and telemetry snapshots stay scheme-comparable.
+     */
+    const obs::LatencyHistogram &writeLatencyHist() const
+    {
+        return writeLatencyHist_;
+    }
+    const obs::LatencyHistogram &readLatencyHist() const
+    {
+        return readLatencyHist_;
+    }
+    /** @} */
+
     /** Cell bits programmed by data writes (Figure 13 numerator). */
     std::uint64_t dataBitsProgrammed() const
     {
@@ -160,6 +177,7 @@ class MemController
         if (eliminated)
             writesEliminated_.increment();
         writeLatency_.add(static_cast<double>(latency));
+        writeLatencyHist_.record(latency);
         dataBitsProgrammed_.increment(bits_programmed);
     }
 
@@ -168,6 +186,7 @@ class MemController
     {
         readRequests_.increment();
         readLatency_.add(static_cast<double>(latency));
+        readLatencyHist_.record(latency);
     }
 
   private:
@@ -177,6 +196,8 @@ class MemController
     Counter dataBitsProgrammed_;
     Accumulator writeLatency_;
     Accumulator readLatency_;
+    obs::LatencyHistogram writeLatencyHist_;
+    obs::LatencyHistogram readLatencyHist_;
 };
 
 } // namespace dewrite

@@ -37,8 +37,12 @@ std::string
 SecureBaselineController::name() const
 {
     std::string label = "secure-baseline";
-    if (options_.technique != BitTechnique::None)
-        label += "+" + bitTechniqueName(options_.technique);
+    if (options_.technique != BitTechnique::None) {
+        // Appended in two steps: GCC 12's -Wrestrict false-positives
+        // on operator+(const char *, std::string &&) here.
+        label += "+";
+        label += bitTechniqueName(options_.technique);
+    }
     if (options_.shredZeroLines)
         label += "+shredder";
     return label;

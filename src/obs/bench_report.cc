@@ -5,7 +5,11 @@
 
 #include "obs/bench_report.hh"
 
+#include <thread>
+
+#include "common/env.hh"
 #include "common/logging.hh"
+#include "obs/version_info.hh"
 
 namespace dewrite::obs {
 
@@ -28,6 +32,28 @@ BenchReport::BenchReport(const std::string &name,
     writer_->field("schema_version", kBenchSchemaVersion);
     writer_->field("events_per_cell", events_per_cell);
     writer_->field("threads", threads);
+
+    // Provenance: enough to reproduce (or refuse to compare) this run.
+    writer_->key("provenance");
+    writer_->beginObject();
+    writer_->field("git_sha", kGitSha);
+    writer_->field("git_dirty", kGitDirty);
+    writer_->field("host_cpus", static_cast<std::uint64_t>(
+                                    std::thread::hardware_concurrency()));
+    writer_->key("knobs");
+    writer_->beginObject();
+    for (const char *knob : knownKnobs()) {
+        writer_->key(knob);
+        // Verbatim capture of whatever the run actually saw; each
+        // knob's consumer has already fail-fast-validated it.
+        // dewrite-lint: allow(env-fail-fast)
+        if (const char *value = envRaw(knob))
+            writer_->value(value);
+        else
+            writer_->valueNull();
+    }
+    writer_->endObject();
+    writer_->endObject();
 }
 
 BenchReport::~BenchReport()

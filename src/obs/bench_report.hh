@@ -9,11 +9,24 @@
  *
  *   {
  *     "bench": "<name>",
- *     "schema_version": 1,
+ *     "schema_version": 2,
  *     "events_per_cell": <uint>,
  *     "threads": <uint>,
+ *     "provenance": {
+ *       "git_sha": "<sha or 'unknown'>",
+ *       "git_dirty": <bool>,
+ *       "host_cpus": <uint>,
+ *       "knobs": { "<DEWRITE_*>": "<value>" | null, ... }
+ *     },
  *     ...bench-specific payload written via json()...
  *   }
+ *
+ * The provenance block (schema v2) records everything needed to
+ * reproduce or fairly compare the run: the exact commit (stamped at
+ * build time by cmake/GenerateVersion.cmake), whether the tree was
+ * dirty, the host's hardware concurrency, and the live value of every
+ * registered DEWRITE_* knob (null = unset). tools/bench_trend.py keys
+ * its history and regression gate on these fields.
  *
  * close() finishes the document and reports whether every byte made it
  * to disk; benches turn a false return into a non-zero exit code
@@ -32,8 +45,8 @@
 
 namespace dewrite::obs {
 
-/** Header fields every bench JSON carries. */
-inline constexpr int kBenchSchemaVersion = 1;
+/** Header fields every bench JSON carries. v2 added "provenance". */
+inline constexpr int kBenchSchemaVersion = 2;
 
 class BenchReport
 {

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Telemetry plane implementation.
+ */
+
+#include "obs/telemetry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hh"
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "obs/json_writer.hh"
+
+namespace dewrite::obs {
+
+namespace {
+
+/** Emits one histogram as a compact JSON object. */
+void
+writeHistJson(JsonWriter &w, const LatencyHistogram &hist)
+{
+    w.beginObject();
+    w.field("count", hist.count());
+    w.field("mean", hist.mean());
+    w.field("p50", hist.p50());
+    w.field("p90", hist.p90());
+    w.field("p99", hist.p99());
+    w.field("p999", hist.p999());
+    w.field("max", hist.max());
+    w.endObject();
+}
+
+void
+writeSkewStats(JsonWriter &w, const SkewMonitor::Stats &stats)
+{
+    w.beginObject();
+    w.field("min", stats.min);
+    w.field("mean", stats.mean);
+    w.field("max", stats.max);
+    w.field("cv", stats.cv);
+    w.endObject();
+}
+
+double
+ratio(std::uint64_t part, std::uint64_t whole)
+{
+    return whole ? static_cast<double>(part) /
+            static_cast<double>(whole)
+                 : 0.0;
+}
+
+/** Dotted registry path → Prometheus metric name. */
+std::string
+promName(const std::string &path)
+{
+    std::string name = "dewrite_";
+    for (const char c : path) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9');
+        name += ok ? c : '_';
+    }
+    return name;
+}
+
+/** One labelled quantile series for a histogram. */
+void
+promHistogram(std::FILE *out, const char *name, const char *label_key,
+              std::uint64_t label, const LatencyHistogram &hist)
+{
+    static constexpr struct
+    {
+        const char *quantile;
+        double q;
+    } kQuantiles[] = { { "0.5", 0.50 },
+                       { "0.9", 0.90 },
+                       { "0.99", 0.99 },
+                       { "0.999", 0.999 } };
+    for (const auto &[text, q] : kQuantiles) {
+        std::fprintf(out,
+                     "%s{%s=\"%llu\",quantile=\"%s\"} %llu\n", name,
+                     label_key, static_cast<unsigned long long>(label),
+                     text,
+                     static_cast<unsigned long long>(
+                         hist.percentile(q)));
+    }
+    std::fprintf(out, "%s_max{%s=\"%llu\"} %llu\n", name, label_key,
+                 static_cast<unsigned long long>(label),
+                 static_cast<unsigned long long>(hist.max()));
+    std::fprintf(out, "%s_count{%s=\"%llu\"} %llu\n", name, label_key,
+                 static_cast<unsigned long long>(label),
+                 static_cast<unsigned long long>(hist.count()));
+}
+
+} // namespace
+
+ShardTelemetry::ShardTelemetry(std::size_t shards, std::size_t shard,
+                               std::uint64_t tenants,
+                               std::uint64_t lines_per_tenant)
+    : shards_(shards), shard_(shard), perTenant_(lines_per_tenant),
+      tenantWrite_(tenants), tenantRead_(tenants),
+      tenantEliminated_(tenants, 0)
+{
+    DEWRITE_CHECK(shard < shards, "telemetry shard %zu of %zu", shard,
+                  shards);
+    DEWRITE_CHECK(tenants >= 1, "telemetry needs at least one tenant");
+}
+
+void
+ShardTelemetry::recordWrite(LineAddr local, Time latency,
+                            bool eliminated)
+{
+    write_.record(latency);
+    const std::uint64_t tenant = tenantOf(local);
+    tenantWrite_[tenant].record(latency);
+    if (eliminated) {
+        ++eliminated_;
+        ++tenantEliminated_[tenant];
+    }
+}
+
+void
+ShardTelemetry::recordRead(LineAddr local, Time latency)
+{
+    read_.record(latency);
+    tenantRead_[tenantOf(local)].record(latency);
+}
+
+SkewMonitor::SkewMonitor(std::size_t shards)
+    : total_(shards, 0), window_(shards, 0)
+{
+    DEWRITE_CHECK(shards >= 1, "skew monitor needs at least one shard");
+}
+
+SkewMonitor::Stats
+SkewMonitor::statsOf(const std::vector<std::uint64_t> &counts)
+{
+    Stats stats;
+    if (counts.empty())
+        return stats;
+    stats.min = ~std::uint64_t{ 0 };
+    double sum = 0.0;
+    for (const std::uint64_t c : counts) {
+        stats.min = std::min(stats.min, c);
+        stats.max = std::max(stats.max, c);
+        sum += static_cast<double>(c);
+    }
+    stats.mean = sum / static_cast<double>(counts.size());
+    if (stats.mean > 0.0) {
+        double var = 0.0;
+        for (const std::uint64_t c : counts) {
+            const double d = static_cast<double>(c) - stats.mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(counts.size());
+        stats.cv = std::sqrt(var) / stats.mean;
+    }
+    return stats;
+}
+
+void
+SkewMonitor::noteRound(const std::uint64_t *events, std::size_t shards)
+{
+    DEWRITE_CHECK(shards == total_.size(),
+                  "skew round over %zu shards, monitor has %zu", shards,
+                  total_.size());
+    std::vector<std::uint64_t> round(events, events + shards);
+    for (std::size_t k = 0; k < shards; ++k) {
+        total_[k] += events[k];
+        window_[k] += events[k];
+    }
+    lastRound_ = statsOf(round);
+    ++rounds_;
+}
+
+SkewMonitor::Stats
+SkewMonitor::totalStats() const
+{
+    return statsOf(total_);
+}
+
+SkewMonitor::Stats
+SkewMonitor::windowStats() const
+{
+    return statsOf(window_);
+}
+
+void
+SkewMonitor::resetWindow()
+{
+    std::fill(window_.begin(), window_.end(), 0);
+}
+
+TelemetryConfig
+TelemetryConfig::fromEnv()
+{
+    TelemetryConfig config;
+    // The sink path is a free-form file name, so it cannot go through
+    // the numeric validators; presence is the only contract.
+    // dewrite-lint: allow(env-fail-fast)
+    if (const char *path = envRaw("DEWRITE_TELEMETRY"))
+        config.path = path;
+    config.everyRounds = envUint("DEWRITE_TELEMETRY_EVERY", 16, 1,
+                                 std::uint64_t{ 1 } << 20);
+    return config;
+}
+
+TelemetrySink::TelemetrySink(const TelemetryConfig &config)
+    : config_(config)
+{
+    if (!config_.enabled())
+        return;
+    jsonl_ = std::fopen(config_.path.c_str(), "a");
+    if (!jsonl_) {
+        warn("cannot open telemetry sink %s", config_.path.c_str());
+        ok_ = false;
+    }
+}
+
+TelemetrySink::~TelemetrySink()
+{
+    if (jsonl_)
+        std::fclose(jsonl_);
+}
+
+bool
+TelemetrySink::emit(const TelemetryFrame &frame)
+{
+    if (!enabled() || !jsonl_)
+        return ok_;
+
+    const std::size_t shards = frame.shards.size();
+    const std::uint64_t tenants =
+        shards ? frame.shards[0]->tenants() : 0;
+    prevShardWrites_.resize(shards, 0);
+    prevShardEliminated_.resize(shards, 0);
+    prevTenantWrites_.resize(tenants, 0);
+    prevTenantEliminated_.resize(tenants, 0);
+
+    std::string line;
+    JsonWriter w(&line, /*pretty=*/false);
+    w.beginObject();
+    w.field("type", "telemetry");
+    w.field("round", frame.round);
+    w.field("final", frame.final);
+    w.field("events", frame.totalEvents);
+    w.field("shards", static_cast<std::uint64_t>(shards));
+    w.field("tenants", tenants);
+
+    if (frame.skew) {
+        w.key("skew");
+        w.beginObject();
+        w.key("round");
+        writeSkewStats(w, frame.skew->lastRound());
+        w.key("window");
+        writeSkewStats(w, frame.skew->windowStats());
+        w.key("total");
+        writeSkewStats(w, frame.skew->totalStats());
+        w.field("alert", frame.skew->alert());
+        w.endObject();
+    }
+
+    w.key("per_shard");
+    w.beginArray();
+    for (std::size_t k = 0; k < shards; ++k) {
+        const ShardTelemetry &shard = *frame.shards[k];
+        const std::uint64_t writes = shard.writes();
+        const std::uint64_t eliminated = shard.writesEliminated();
+        w.beginObject();
+        w.field("shard", static_cast<std::uint64_t>(k));
+        w.field("events", k < frame.shardEvents.size()
+                              ? frame.shardEvents[k]
+                              : 0);
+        w.field("writes", writes);
+        w.field("writes_eliminated", eliminated);
+        w.field("dup_ratio", ratio(eliminated, writes));
+        w.field("dup_ratio_epoch",
+                ratio(eliminated - prevShardEliminated_[k],
+                      writes - prevShardWrites_[k]));
+        prevShardWrites_[k] = writes;
+        prevShardEliminated_[k] = eliminated;
+        w.key("write_latency_ps");
+        writeHistJson(w, shard.writeHist());
+        w.key("read_latency_ps");
+        writeHistJson(w, shard.readHist());
+        w.key("batch_span_ps");
+        writeHistJson(w, shard.batchHist());
+        w.endObject();
+    }
+    w.endArray();
+
+    // Per-tenant aggregates: shard-local histograms merged here, at
+    // the emit boundary — never on the drain hot path.
+    w.key("per_tenant");
+    w.beginArray();
+    for (std::uint64_t t = 0; t < tenants; ++t) {
+        LatencyHistogram write_hist;
+        LatencyHistogram read_hist;
+        std::uint64_t eliminated = 0;
+        for (const ShardTelemetry *shard : frame.shards) {
+            write_hist.merge(shard->tenantWriteHist(t));
+            read_hist.merge(shard->tenantReadHist(t));
+            eliminated += shard->tenantWritesEliminated(t);
+        }
+        const std::uint64_t writes = write_hist.count();
+        w.beginObject();
+        w.field("tenant", t);
+        w.field("writes", writes);
+        w.field("writes_eliminated", eliminated);
+        w.field("dup_ratio", ratio(eliminated, writes));
+        w.field("dup_ratio_epoch",
+                ratio(eliminated - prevTenantEliminated_[t],
+                      writes - prevTenantWrites_[t]));
+        prevTenantWrites_[t] = writes;
+        prevTenantEliminated_[t] = eliminated;
+        w.key("write_latency_ps");
+        writeHistJson(w, write_hist);
+        w.key("read_latency_ps");
+        writeHistJson(w, read_hist);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    if (!w.ok() || std::fputs(line.c_str(), jsonl_) == EOF ||
+        std::fputc('\n', jsonl_) == EOF || std::fflush(jsonl_) != 0) {
+        ok_ = false;
+    }
+    ++snapshots_;
+
+    // Prometheus exposition: rewrite-and-rename so a concurrent scrape
+    // never sees a half-written file.
+    const std::string tmp = promPath() + ".tmp";
+    if (std::FILE *prom = std::fopen(tmp.c_str(), "w")) {
+        bool prom_ok = writePromText(prom, frame.samples);
+        for (std::size_t k = 0; k < shards; ++k) {
+            const ShardTelemetry &shard = *frame.shards[k];
+            promHistogram(prom, "dewrite_shard_write_latency_ps",
+                          "shard", k, shard.writeHist());
+            promHistogram(prom, "dewrite_shard_read_latency_ps",
+                          "shard", k, shard.readHist());
+            promHistogram(prom, "dewrite_shard_batch_span_ps", "shard",
+                          k, shard.batchHist());
+        }
+        for (std::uint64_t t = 0; t < tenants; ++t) {
+            LatencyHistogram write_hist;
+            LatencyHistogram read_hist;
+            for (const ShardTelemetry *shard : frame.shards) {
+                write_hist.merge(shard->tenantWriteHist(t));
+                read_hist.merge(shard->tenantReadHist(t));
+            }
+            promHistogram(prom, "dewrite_tenant_write_latency_ps",
+                          "tenant", t, write_hist);
+            promHistogram(prom, "dewrite_tenant_read_latency_ps",
+                          "tenant", t, read_hist);
+        }
+        prom_ok = std::fclose(prom) == 0 && prom_ok;
+        if (!prom_ok ||
+            std::rename(tmp.c_str(), promPath().c_str()) != 0) {
+            ok_ = false;
+        }
+    } else {
+        ok_ = false;
+    }
+    return ok_;
+}
+
+bool
+writePromText(std::FILE *out, const std::vector<MetricSample> &samples)
+{
+    bool ok = true;
+    for (const MetricSample &sample : samples) {
+        const std::string name = promName(sample.path);
+        const char *type =
+            sample.kind == MetricKind::Counter ? "counter" : "gauge";
+        if (std::fprintf(out, "# TYPE %s %s\n%s %.17g\n", name.c_str(),
+                         type, name.c_str(), sample.value) < 0) {
+            ok = false;
+        }
+    }
+    return ok && std::fflush(out) == 0;
+}
+
+} // namespace dewrite::obs

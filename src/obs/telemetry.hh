@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Service telemetry plane: per-shard / per-tenant latency histograms,
+ * a shard-skew monitor, and a live stats sink.
+ *
+ * PR 3's observability layer snapshots metrics only after a run
+ * completes — useless for a long-lived service. This module surfaces
+ * the per-event latencies the shard cores already compute, online:
+ *
+ *  - ShardTelemetry: one per shard, written exclusively by that
+ *    shard's drain task (the zero-sharing discipline of DESIGN.md §5g
+ *    — no locks, no false sharing on the hot path). It buckets
+ *    write/read request latency and batch stage-to-commit spans into
+ *    LatencyHistograms, per shard and per tenant, and tracks
+ *    per-tenant duplicate-elimination counts for duplication-ratio
+ *    telemetry. Tenant attribution is pure arithmetic: a shard-local
+ *    address folds back to its global key (g = local * shards +
+ *    shard), and g / linesPerTenant is the tenant — two FastDiv
+ *    multiplies, no lookaside state.
+ *
+ *  - SkewMonitor: per-round events/shard min/mean/max and coefficient
+ *    of variation, over the whole run and over the window since the
+ *    last telemetry emit. The CV gauge is the trigger input for the
+ *    ROADMAP's shard-rebalancing item; snapshots flag windows whose
+ *    CV exceeds kSkewAlertCv.
+ *
+ *  - TelemetrySink: between rounds (every DEWRITE_TELEMETRY_EVERY
+ *    rounds, and once at run end) the service hands the sink a frame
+ *    of shard telemetry pointers; the sink merges the shard-local
+ *    histograms into per-tenant aggregates (merge is exact and
+ *    associative, see latency_histogram.hh), appends one JSONL
+ *    snapshot line to DEWRITE_TELEMETRY=path, and rewrites
+ *    "<path>.prom" as a Prometheus text exposition — a scrape of a
+ *    running service is one file read.
+ *
+ * Everything here is host-side observability. None of it may alter
+ * simulated results: the fingerprint-invariance tests run the service
+ * with telemetry on and off and pin identical shard fingerprints.
+ */
+
+#ifndef DEWRITE_OBS_TELEMETRY_HH
+#define DEWRITE_OBS_TELEMETRY_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/fast_div.hh"
+#include "common/types.hh"
+#include "obs/latency_histogram.hh"
+#include "obs/metric_registry.hh"
+
+namespace dewrite::obs {
+
+/** Window CV above which a snapshot carries "skew_alert": true. */
+inline constexpr double kSkewAlertCv = 0.25;
+
+class ShardTelemetry
+{
+  public:
+    /**
+     * Telemetry for shard @p shard of @p shards, serving @p tenants
+     * namespaces of @p lines_per_tenant lines. All per-tenant storage
+     * is sized here; recording allocates nothing.
+     */
+    ShardTelemetry(std::size_t shards, std::size_t shard,
+                   std::uint64_t tenants,
+                   std::uint64_t lines_per_tenant);
+
+    /** Tenant owning shard-local address @p local (pure arithmetic). */
+    // dewrite-lint: hot
+    std::uint64_t
+    tenantOf(LineAddr local) const
+    {
+        return perTenant_.div(local * shards_ + shard_);
+    }
+
+    /** Records one serviced write: request latency + dedup outcome. */
+    void recordWrite(LineAddr local, Time latency, bool eliminated);
+
+    /** Records one serviced read's request latency. */
+    void recordRead(LineAddr local, Time latency);
+
+    /** Records one batch's first-stage-to-last-commit span. */
+    void recordBatchCommit(Time span) { batch_.record(span); }
+
+    /** @{ Shard-level histograms (all tenants folded together). */
+    const LatencyHistogram &writeHist() const { return write_; }
+    const LatencyHistogram &readHist() const { return read_; }
+    const LatencyHistogram &batchHist() const { return batch_; }
+    /** @} */
+
+    /** @{ Per-tenant views. */
+    std::uint64_t tenants() const { return tenantWrite_.size(); }
+    const LatencyHistogram &tenantWriteHist(std::uint64_t t) const
+    {
+        return tenantWrite_[t];
+    }
+    const LatencyHistogram &tenantReadHist(std::uint64_t t) const
+    {
+        return tenantRead_[t];
+    }
+    std::uint64_t tenantWrites(std::uint64_t t) const
+    {
+        return tenantWrite_[t].count();
+    }
+    std::uint64_t tenantWritesEliminated(std::uint64_t t) const
+    {
+        return tenantEliminated_[t];
+    }
+    /** @} */
+
+    /** @{ Duplication accounting for ratio telemetry. */
+    std::uint64_t writes() const { return write_.count(); }
+    std::uint64_t writesEliminated() const { return eliminated_; }
+    /** @} */
+
+  private:
+    std::size_t shards_;
+    std::size_t shard_;
+    FastDiv perTenant_; //!< Divides global keys by linesPerTenant.
+
+    LatencyHistogram write_;
+    LatencyHistogram read_;
+    LatencyHistogram batch_;
+    std::uint64_t eliminated_ = 0;
+
+    std::vector<LatencyHistogram> tenantWrite_;
+    std::vector<LatencyHistogram> tenantRead_;
+    std::vector<std::uint64_t> tenantEliminated_;
+};
+
+class SkewMonitor
+{
+  public:
+    /** Dispersion of one group of per-shard event counts. */
+    struct Stats
+    {
+        std::uint64_t min = 0;
+        std::uint64_t max = 0;
+        double mean = 0.0;
+        double cv = 0.0; //!< stddev / mean (0 when mean is 0).
+    };
+
+    explicit SkewMonitor(std::size_t shards);
+
+    /** Accounts one completed drain round's per-shard event counts. */
+    void noteRound(const std::uint64_t *events, std::size_t shards);
+
+    std::uint64_t rounds() const { return rounds_; }
+
+    /** Last completed round (the live gauges). */
+    const Stats &lastRound() const { return lastRound_; }
+
+    /** Cumulative per-shard totals since construction. */
+    Stats totalStats() const;
+
+    /** Per-shard totals since the last resetWindow() (emit window). */
+    Stats windowStats() const;
+    void resetWindow();
+
+    /** True when the current window's CV exceeds @p threshold. */
+    bool alert(double threshold = kSkewAlertCv) const
+    {
+        return windowStats().cv > threshold;
+    }
+
+  private:
+    static Stats statsOf(const std::vector<std::uint64_t> &counts);
+
+    std::vector<std::uint64_t> total_;
+    std::vector<std::uint64_t> window_;
+    Stats lastRound_;
+    std::uint64_t rounds_ = 0;
+};
+
+/** DEWRITE_TELEMETRY / DEWRITE_TELEMETRY_EVERY, parsed fail-fast. */
+struct TelemetryConfig
+{
+    std::string path;          //!< JSONL sink; empty → disabled.
+    std::uint64_t everyRounds = 16; //!< Emit cadence in drain rounds.
+
+    bool enabled() const { return !path.empty(); }
+
+    /**
+     * Reads the environment. DEWRITE_TELEMETRY_EVERY goes through
+     * envUint (1..2^20, default 16) and is validated even when the
+     * sink is disabled, per the fail-fast contract.
+     */
+    static TelemetryConfig fromEnv();
+};
+
+/** One emission's view of the service, assembled by DedupService. */
+struct TelemetryFrame
+{
+    std::uint64_t round = 0;       //!< Drain rounds completed so far.
+    std::uint64_t totalEvents = 0; //!< Events ingested so far.
+    bool final = false;            //!< Run-end snapshot (tail flushed).
+    std::vector<const ShardTelemetry *> shards;
+    std::vector<std::uint64_t> shardEvents; //!< Cumulative per shard.
+    const SkewMonitor *skew = nullptr;
+    /** Merged service registry snapshot for the Prometheus file. */
+    std::vector<MetricSample> samples;
+};
+
+class TelemetrySink
+{
+  public:
+    explicit TelemetrySink(const TelemetryConfig &config);
+    ~TelemetrySink();
+
+    TelemetrySink(const TelemetrySink &) = delete;
+    TelemetrySink &operator=(const TelemetrySink &) = delete;
+
+    bool enabled() const { return config_.enabled(); }
+    std::uint64_t everyRounds() const { return config_.everyRounds; }
+    std::uint64_t snapshots() const { return snapshots_; }
+    const std::string &jsonlPath() const { return config_.path; }
+    std::string promPath() const { return config_.path + ".prom"; }
+
+    /**
+     * True when @p round is an emit boundary (every everyRounds
+     * rounds). The run-end frame is always emitted regardless.
+     */
+    bool due(std::uint64_t round) const
+    {
+        return enabled() && round % config_.everyRounds == 0;
+    }
+
+    /**
+     * Appends one JSONL snapshot line for @p frame and rewrites the
+     * Prometheus exposition file. Per-epoch duplication ratios are
+     * deltas against the previous emit, tracked here. No-op when
+     * disabled. Returns false if any write failed (latched).
+     */
+    bool emit(const TelemetryFrame &frame);
+
+    bool ok() const { return ok_; }
+
+  private:
+    TelemetryConfig config_;
+    std::FILE *jsonl_ = nullptr;
+    bool ok_ = true;
+    std::uint64_t snapshots_ = 0;
+
+    /** Previous-emit counters for per-epoch duplication deltas. */
+    std::vector<std::uint64_t> prevShardWrites_;
+    std::vector<std::uint64_t> prevShardEliminated_;
+    std::vector<std::uint64_t> prevTenantWrites_;
+    std::vector<std::uint64_t> prevTenantEliminated_;
+};
+
+/**
+ * Writes @p samples as a Prometheus text exposition ("# TYPE" comment
+ * plus one sample line per metric). Dotted registry paths become
+ * underscore-separated names under a "dewrite_" prefix; Counter
+ * entries export as counters, everything else as gauges. Returns
+ * false when a stream write failed.
+ */
+bool writePromText(std::FILE *out,
+                   const std::vector<MetricSample> &samples);
+
+} // namespace dewrite::obs
+
+#endif // DEWRITE_OBS_TELEMETRY_HH

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "obs/metric_registry.hh"
+#include "obs/telemetry.hh"
 #include "service/shard_core.hh"
 #include "service/shard_router.hh"
 #include "service/tenant_mux.hh"
@@ -104,6 +105,19 @@ class DedupService
      */
     std::vector<obs::MetricSample> registrySnapshot() const;
 
+    /** @{ Telemetry plane (always recorded; sink only when enabled). */
+    const obs::ShardTelemetry &shardTelemetry(std::size_t shard) const
+    {
+        return *shards_[shard].telemetry;
+    }
+    const obs::SkewMonitor &skewMonitor() const { return skew_; }
+    const obs::TelemetrySink &telemetrySink() const { return sink_; }
+    std::uint64_t telemetrySnapshots() const
+    {
+        return sink_.snapshots();
+    }
+    /** @} */
+
     /**
      * The per-shard tenant streams resolved from @p options — the
      * single source of the tenant/seed assignment, shared by the
@@ -130,6 +144,9 @@ class DedupService
     {
         std::unique_ptr<System> system;
         std::unique_ptr<ShardCore> core;
+        /** Written only by this shard's drain task (zero-sharing);
+         * read by the main thread strictly after pool.wait(). */
+        std::unique_ptr<obs::ShardTelemetry> telemetry;
         /** Double ingest buffers: fill one while the pool drains the
          * other. */
         std::vector<MemEvent> buffers[2];
@@ -143,6 +160,9 @@ class DedupService
     /** Finalizes one shard: drain, account, audit, fingerprint. */
     ShardOutcome finalizeShard(std::size_t shard);
 
+    /** Assembles and emits one telemetry frame (round or run-end). */
+    void emitTelemetry(bool final_frame);
+
     ServiceOptions options_;          //!< With zeros resolved.
     std::uint64_t totalEvents_ = 0;
     std::uint64_t produced_ = 0;      //!< Mux events drawn so far.
@@ -152,6 +172,11 @@ class DedupService
     std::vector<Shard> shards_;
     ThreadPool pool_;
     Counter roundsIngested_;          //!< Drain rounds executed.
+
+    obs::SkewMonitor skew_;
+    obs::TelemetrySink sink_;
+    /** Scratch for per-round skew counts (no per-round allocation). */
+    std::vector<std::uint64_t> roundCounts_;
 
     /** Service-level metrics: ingest rounds, per-shard routed events,
      * and each ShardCore's batch former (under "shard<k>.ingest"). */

@@ -36,10 +36,17 @@ TEST(BenchReportTest, WritesUniformHeaderAndPayload)
     const std::string text = slurp("BENCH_unit_smoke.json");
     EXPECT_NE(text.find("\"bench\": \"unit_smoke\""),
               std::string::npos);
-    EXPECT_NE(text.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(text.find("\"schema_version\": 2"), std::string::npos);
     EXPECT_NE(text.find("\"events_per_cell\": 1234"),
               std::string::npos);
     EXPECT_NE(text.find("\"threads\": 8"), std::string::npos);
+    // Schema v2: every header carries the provenance block.
+    EXPECT_NE(text.find("\"provenance\""), std::string::npos);
+    EXPECT_NE(text.find("\"git_sha\""), std::string::npos);
+    EXPECT_NE(text.find("\"git_dirty\""), std::string::npos);
+    EXPECT_NE(text.find("\"host_cpus\""), std::string::npos);
+    EXPECT_NE(text.find("\"knobs\""), std::string::npos);
+    EXPECT_NE(text.find("\"DEWRITE_BATCH\""), std::string::npos);
     EXPECT_NE(text.find("\"payload\": 7"), std::string::npos);
     std::remove("BENCH_unit_smoke.json");
 }

@@ -79,6 +79,38 @@ TEST(PipelineMetrics, SecureBaselineExposesItsPadCache)
     EXPECT_GT(hits + misses, 0.0);
 }
 
+TEST(PipelineMetrics, LatencyQuantilesShareOnePathAcrossSchemes)
+{
+    // The telemetry plane registers the histogram quantiles in the
+    // MemController base class, so the dewrite controller and the
+    // secure baseline expose the *same* metric paths — dashboards
+    // compare schemes without per-scheme wiring.
+    for (const SchemeOptions &scheme :
+         { dewriteScheme(DedupMode::Predicted),
+           secureBaselineScheme() }) {
+        const DetailedExperiment detailed = runSmall(scheme);
+        const std::vector<obs::MetricSample> samples =
+            detailed.system->registry().snapshot();
+        const double p50 =
+            sampleValue(samples, "controller.write_latency.p50_ps");
+        const double p99 =
+            sampleValue(samples, "controller.write_latency.p99_ps");
+        const double max =
+            sampleValue(samples, "controller.write_latency.max_ps");
+        sampleValue(samples, "controller.write_latency.p999_ps");
+        sampleValue(samples, "controller.read_latency.p99_ps");
+        EXPECT_GT(p50, 0.0) << detailed.result.scheme;
+        EXPECT_LE(p50, p99) << detailed.result.scheme;
+        EXPECT_LE(p99, max) << detailed.result.scheme;
+        // And the histogram agrees with the exact accumulator mean's
+        // order of magnitude: the mean must sit within [min, max].
+        EXPECT_LE(sampleValue(samples,
+                              "controller.write_latency_ps"),
+                  max)
+            << detailed.result.scheme;
+    }
+}
+
 TEST(PipelineMetrics, HostCountersStayOutOfResultSignatures)
 {
     // The new counters must never enter the legacy StatSet, which is

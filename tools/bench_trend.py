@@ -1,0 +1,434 @@
+#!/usr/bin/env python3
+"""Tracks BENCH_*.json runs over time and gates perf regressions.
+
+Every invocation appends one JSONL record per report to the history
+file (default BENCH_history.jsonl): the report's provenance block
+(git sha, dirty flag, host_cpus, DEWRITE_* knobs), its events/sec
+figures, and its parity fingerprints — the cross-commit perf
+trajectory that BENCH_*.json files alone never provided.
+
+With --check, the newest reports are compared against the committed
+baseline (default tools/bench_baseline.json):
+
+  * any parity-fingerprint change fails, unconditionally — the
+    simulation is deterministic, so fingerprints are host-portable
+    and a drift is a correctness change, not noise;
+  * an events/sec drop beyond --tolerance (default 15%) fails, but
+    only when the baseline was recorded on a host with the same CPU
+    count — raw throughput is not comparable across host shapes, and
+    a cross-host gate would flap;
+  * an events_per_cell mismatch fails — different workloads are not
+    comparable at all.
+
+--update-baseline rewrites the baseline from the given reports (run
+it on the reference CI host after an intentional perf change).
+
+--validate-telemetry FILE parses a DEWRITE_TELEMETRY JSONL stream and
+verifies every snapshot line parses, the stream ends with a final
+frame, and (with --tenants N) the final frame carries a per-tenant
+write-latency p99 for every tenant.
+
+Exit codes: 0 ok, 1 regression/parity/validation failure, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+class TrendError(Exception):
+    """A gate or validation failed; str() is the diagnostic."""
+
+
+def fail(message: str) -> None:
+    raise TrendError(message)
+
+
+def load_json(path: str) -> object:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"{path}: unreadable or invalid JSON: {error}")
+
+
+def extract_metrics(path: str, report: object) -> dict:
+    """One report -> the comparable slice the history and gate use."""
+    if not isinstance(report, dict):
+        fail(f"{path}: top level must be a JSON object")
+    for key in ("bench", "schema_version", "events_per_cell",
+                "provenance"):
+        if key not in report:
+            fail(f"{path}: missing {key!r} (schema v2 required; "
+                 "re-run the bench)")
+    provenance = report["provenance"]
+    if not isinstance(provenance, dict) \
+            or "host_cpus" not in provenance:
+        fail(f"{path}: provenance block missing 'host_cpus'")
+
+    throughputs: dict[str, float] = {}
+    fingerprints: dict[str, int] = {}
+    bench = report["bench"]
+    if bench == "throughput":
+        for entry in report.get("schemes", []):
+            scheme = entry["scheme"]
+            throughputs[scheme] = float(entry["events_per_sec"])
+            fingerprints[scheme] = int(entry["result_fingerprint"])
+        if "events_per_sec" in report:
+            throughputs["overall"] = float(report["events_per_sec"])
+    elif bench == "service":
+        for entry in report.get("configs", []):
+            key = f"shards{entry['shards']}"
+            throughputs[key] = float(entry["events_per_sec"])
+            for shard in entry.get("shards_detail", []):
+                fingerprints[f"{key}/shard{shard['shard']}"] = \
+                    int(shard["service_fingerprint"])
+    elif "events_per_sec" in report:
+        throughputs["overall"] = float(report["events_per_sec"])
+
+    return {
+        "bench": bench,
+        "events_per_cell": report["events_per_cell"],
+        "host_cpus": provenance["host_cpus"],
+        "provenance": provenance,
+        "throughputs": throughputs,
+        "fingerprints": fingerprints,
+    }
+
+
+def append_history(history_path: str, metrics: dict) -> None:
+    record = dict(metrics)
+    record["recorded_unix"] = int(time.time())
+    with open(history_path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def check_against_baseline(path: str, metrics: dict, baseline: dict,
+                           tolerance: float) -> list[str]:
+    """-> human-readable notes; raises TrendError on a gate failure."""
+    benches = baseline.get("benches")
+    if not isinstance(benches, dict):
+        fail(f"baseline has no 'benches' object")
+    base = benches.get(metrics["bench"])
+    if base is None:
+        fail(f"{path}: bench {metrics['bench']!r} has no baseline "
+             "entry; record one with --update-baseline")
+
+    if base["events_per_cell"] != metrics["events_per_cell"]:
+        fail(f"{path}: events_per_cell {metrics['events_per_cell']} "
+             f"differs from baseline {base['events_per_cell']}; runs "
+             "are not comparable (use the same DEWRITE_EVENTS/--quick "
+             "shape as the baseline)")
+
+    # Fingerprints: deterministic, therefore host-portable, therefore
+    # hard-gated. Every baseline key must still exist and match.
+    for key, fingerprint in sorted(base.get("fingerprints",
+                                            {}).items()):
+        current = metrics["fingerprints"].get(key)
+        if current is None:
+            fail(f"{path}: fingerprint {key!r} present in baseline "
+                 "but missing from this run")
+        if int(current) != int(fingerprint):
+            fail(f"{path}: parity fingerprint changed for {key!r}: "
+                 f"baseline {fingerprint} vs current {current} — "
+                 "simulated results drifted")
+
+    # Throughput: gated only on a like-for-like host shape.
+    notes = []
+    if base["host_cpus"] != metrics["host_cpus"]:
+        notes.append(
+            f"{path}: baseline host_cpus={base['host_cpus']} vs "
+            f"current {metrics['host_cpus']}; events/sec gate skipped "
+            "(raw throughput is not host-portable)")
+        return notes
+    for key, base_eps in sorted(base.get("throughputs", {}).items()):
+        current = metrics["throughputs"].get(key)
+        if current is None:
+            fail(f"{path}: throughput series {key!r} present in "
+                 "baseline but missing from this run")
+        floor = float(base_eps) * (1.0 - tolerance)
+        if float(current) < floor:
+            fail(f"{path}: events/sec regression in {key!r}: "
+                 f"{current:.0f} < {floor:.0f} "
+                 f"(baseline {float(base_eps):.0f}, tolerance "
+                 f"{tolerance:.0%})")
+        notes.append(f"{path}: {key} {float(current):.0f} ev/s vs "
+                     f"baseline {float(base_eps):.0f} (ok)")
+    return notes
+
+
+def build_baseline(all_metrics: list[dict]) -> dict:
+    benches = {}
+    for metrics in all_metrics:
+        benches[metrics["bench"]] = {
+            "events_per_cell": metrics["events_per_cell"],
+            "host_cpus": metrics["host_cpus"],
+            "git_sha": metrics["provenance"].get("git_sha", "unknown"),
+            "throughputs": metrics["throughputs"],
+            "fingerprints": metrics["fingerprints"],
+        }
+    return {"benches": benches}
+
+
+def validate_telemetry(path: str, tenants: int | None) -> None:
+    """A DEWRITE_TELEMETRY JSONL stream: every line parses, the stream
+    ends with a final frame, and the final frame has a per-tenant
+    write-latency p99 for every expected tenant."""
+    frames = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                if not line.strip():
+                    continue
+                try:
+                    frame = json.loads(line)
+                except json.JSONDecodeError as error:
+                    fail(f"{path}:{lineno}: invalid JSONL: {error}")
+                if frame.get("type") != "telemetry":
+                    fail(f"{path}:{lineno}: unexpected record type "
+                         f"{frame.get('type')!r}")
+                frames.append(frame)
+    except OSError as error:
+        fail(f"{path}: {error}")
+    if not frames:
+        fail(f"{path}: no telemetry snapshots")
+    final = frames[-1]
+    if final.get("final") is not True:
+        fail(f"{path}: last snapshot is not a final frame")
+
+    per_tenant = final.get("per_tenant")
+    if not isinstance(per_tenant, list) or not per_tenant:
+        fail(f"{path}: final frame has no 'per_tenant' array")
+    expected = tenants if tenants is not None else len(per_tenant)
+    seen = set()
+    for entry in per_tenant:
+        tenant = entry.get("tenant")
+        hist = entry.get("write_latency_ps")
+        if not isinstance(hist, dict) or "p99" not in hist:
+            fail(f"{path}: tenant {tenant} lacks a write-latency p99")
+        seen.add(tenant)
+    if seen != set(range(expected)):
+        fail(f"{path}: per-tenant p99s cover {sorted(seen)}, expected "
+             f"tenants 0..{expected - 1}")
+
+
+def self_test() -> int:
+    """Seeded checks: the gate must pass a faithful re-run, fail a 20%
+    regression and any fingerprint drift, and skip the throughput gate
+    across host shapes."""
+    import tempfile
+
+    def throughput_report(eps: float = 10000.0, fingerprint: int = 7,
+                          host_cpus: int = 4) -> dict:
+        return {"bench": "throughput", "schema_version": 2,
+                "events_per_cell": 6000, "threads": 1,
+                "provenance": {"git_sha": "abc", "git_dirty": False,
+                               "host_cpus": host_cpus,
+                               "knobs": {"DEWRITE_EVENTS": None}},
+                "schemes": [{"scheme": "secure-baseline",
+                             "events_per_sec": eps,
+                             "result_fingerprint": fingerprint}],
+                "events_per_sec": eps}
+
+    good = extract_metrics("a.json", throughput_report())
+    baseline = build_baseline([good])
+
+    # A faithful re-run and a small (in-tolerance) dip both pass.
+    check_against_baseline("a.json", good, baseline, 0.15)
+    check_against_baseline(
+        "a.json", extract_metrics("a.json",
+                                  throughput_report(eps=9000.0)),
+        baseline, 0.15)
+
+    # A 20% regression fails the gate.
+    try:
+        check_against_baseline(
+            "a.json", extract_metrics("a.json",
+                                      throughput_report(eps=8000.0)),
+            baseline, 0.15)
+    except TrendError as error:
+        assert "events/sec regression" in str(error), str(error)
+    else:
+        raise AssertionError("accepted a 20% events/sec regression")
+
+    # A fingerprint drift fails even when the host shape differs.
+    try:
+        check_against_baseline(
+            "a.json",
+            extract_metrics("a.json",
+                            throughput_report(fingerprint=8,
+                                              host_cpus=64)),
+            baseline, 0.15)
+    except TrendError as error:
+        assert "parity fingerprint changed" in str(error), str(error)
+    else:
+        raise AssertionError("accepted a fingerprint drift")
+
+    # A different host shape skips the throughput gate (same 20%
+    # regression passes with a note).
+    notes = check_against_baseline(
+        "a.json",
+        extract_metrics("a.json", throughput_report(eps=8000.0,
+                                                    host_cpus=64)),
+        baseline, 0.15)
+    assert any("gate skipped" in note for note in notes), notes
+
+    # A different workload shape is not comparable.
+    wrong_shape = extract_metrics("a.json", throughput_report())
+    wrong_shape["events_per_cell"] = 120000
+    try:
+        check_against_baseline("a.json", wrong_shape, baseline, 0.15)
+    except TrendError as error:
+        assert "events_per_cell" in str(error), str(error)
+    else:
+        raise AssertionError("compared incomparable workload shapes")
+
+    # Service reports gate per-config throughput and per-shard
+    # fingerprints.
+    service = {"bench": "service", "schema_version": 2,
+               "events_per_cell": 6000, "threads": 1,
+               "provenance": {"git_sha": "abc", "git_dirty": False,
+                              "host_cpus": 4, "knobs": {}},
+               "configs": [{"shards": 2, "threads": 2, "events": 6000,
+                            "events_per_sec": 20000.0,
+                            "shards_detail": [
+                                {"shard": 0, "service_fingerprint": 1},
+                                {"shard": 1,
+                                 "service_fingerprint": 2}]}]}
+    service_metrics = extract_metrics("s.json", service)
+    assert service_metrics["throughputs"] == {"shards2": 20000.0}
+    assert service_metrics["fingerprints"] == {"shards2/shard0": 1,
+                                               "shards2/shard1": 2}
+    service_baseline = build_baseline([service_metrics])
+    check_against_baseline("s.json", service_metrics,
+                           service_baseline, 0.15)
+
+    # History append-and-parse round trip.
+    with tempfile.TemporaryDirectory() as tmp:
+        history = os.path.join(tmp, "BENCH_history.jsonl")
+        append_history(history, good)
+        append_history(history, service_metrics)
+        with open(history, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        assert len(records) == 2 and records[0]["bench"] == "throughput"
+        assert all("recorded_unix" in r and "provenance" in r
+                   for r in records)
+
+        # Telemetry stream validation: a good stream passes; a stream
+        # missing a tenant, or without a final frame, is rejected.
+        stream = os.path.join(tmp, "telemetry.jsonl")
+
+        def tenant(t: int) -> dict:
+            return {"tenant": t, "write_latency_ps": {"p99": 5}}
+
+        def write_stream(lines: list[dict]) -> None:
+            with open(stream, "w", encoding="utf-8") as handle:
+                for line in lines:
+                    handle.write(json.dumps(line) + "\n")
+
+        write_stream([
+            {"type": "telemetry", "round": 4, "final": False,
+             "per_tenant": [tenant(0), tenant(1)]},
+            {"type": "telemetry", "round": 8, "final": True,
+             "per_tenant": [tenant(0), tenant(1)]},
+        ])
+        validate_telemetry(stream, tenants=2)
+        try:
+            validate_telemetry(stream, tenants=3)
+        except TrendError as error:
+            assert "expected tenants 0..2" in str(error), str(error)
+        else:
+            raise AssertionError("accepted a missing tenant")
+        write_stream([{"type": "telemetry", "round": 4,
+                       "final": False,
+                       "per_tenant": [tenant(0)]}])
+        try:
+            validate_telemetry(stream, tenants=1)
+        except TrendError as error:
+            assert "not a final frame" in str(error), str(error)
+        else:
+            raise AssertionError("accepted a stream with no final "
+                                 "frame")
+
+    print("bench_trend self-test: OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=__doc__.split("\n", 1)[1])
+    parser.add_argument("files", nargs="*",
+                        help="BENCH_*.json reports to record/check")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="JSONL trajectory file to append to "
+                             "(default: %(default)s)")
+    parser.add_argument("--baseline",
+                        default=os.path.join(
+                            os.path.dirname(os.path.abspath(__file__)),
+                            "bench_baseline.json"),
+                        help="committed baseline (default: "
+                             "%(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="gate the reports against the baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the reports")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed events/sec drop before --check "
+                             "fails (default: %(default)s)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the seeded-regression self-test")
+    parser.add_argument("--validate-telemetry", metavar="FILE",
+                        help="validate a DEWRITE_TELEMETRY JSONL "
+                             "stream instead of bench reports")
+    parser.add_argument("--tenants", type=int, default=None,
+                        help="expected tenant count for "
+                             "--validate-telemetry")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    try:
+        if args.validate_telemetry:
+            validate_telemetry(args.validate_telemetry, args.tenants)
+            print(f"{args.validate_telemetry}: telemetry stream OK")
+            return 0
+
+        if not args.files:
+            parser.error("no report files given")
+        all_metrics = [extract_metrics(path, load_json(path))
+                       for path in args.files]
+        for metrics in all_metrics:
+            append_history(args.history, metrics)
+        print(f"recorded {len(all_metrics)} report(s) in "
+              f"{args.history}")
+
+        if args.update_baseline:
+            with open(args.baseline, "w", encoding="utf-8") as handle:
+                json.dump(build_baseline(all_metrics), handle,
+                          indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"baseline updated: {args.baseline}")
+            return 0
+
+        if args.check:
+            baseline = load_json(args.baseline)
+            for path, metrics in zip(args.files, all_metrics):
+                for note in check_against_baseline(
+                        path, metrics, baseline, args.tolerance):
+                    print(note)
+            print("bench trend: within baseline tolerances")
+    except TrendError as error:
+        print(error, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,9 +7,15 @@ when a bench drifts from the contract:
 
     {
       "bench": "<name>",          # string, matches the file name
-      "schema_version": 1,        # integer, bumped on breaking change
+      "schema_version": 2,        # integer, bumped on breaking change
       "events_per_cell": <uint>,  # 0 when not event-driven
       "threads": <uint>,          # worker count used for the run
+      "provenance": {             # v2: run reproducibility block
+        "git_sha": "<sha>",       # build-time commit ("unknown" ok)
+        "git_dirty": <bool>,      # tree had uncommitted changes
+        "host_cpus": <uint>,      # hardware concurrency of the host
+        "knobs": {"DEWRITE_*": "<value>" | null, ...}
+      },
       ...                         # bench-specific payload
     }
 
@@ -28,8 +34,9 @@ import json
 import os
 import sys
 
-SCHEMA_VERSION = 1
-HEADER = ("bench", "schema_version", "events_per_cell", "threads")
+SCHEMA_VERSION = 2
+HEADER = ("bench", "schema_version", "events_per_cell", "threads",
+          "provenance")
 
 # The per-stage host-cycle breakdown the throughput bench emits per
 # scheme (matches DedupEngine's stage gauges).
@@ -53,6 +60,32 @@ def _is_number(value: object) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def check_provenance(path: str, report: dict) -> None:
+    """The v2 provenance block: commit, dirty flag, host shape, and a
+    verbatim capture of every DEWRITE_* knob (null = unset)."""
+    prov = report.get("provenance")
+    if not isinstance(prov, dict):
+        fail(path, "'provenance' must be an object")
+    sha = prov.get("git_sha")
+    if not isinstance(sha, str) or not sha:
+        fail(path, "provenance 'git_sha' must be a non-empty string")
+    if not isinstance(prov.get("git_dirty"), bool):
+        fail(path, "provenance 'git_dirty' must be a boolean")
+    if not _is_uint(prov.get("host_cpus")):
+        fail(path, "provenance 'host_cpus' must be a non-negative "
+                   "integer")
+    knobs = prov.get("knobs")
+    if not isinstance(knobs, dict):
+        fail(path, "provenance 'knobs' must be an object")
+    for name, value in knobs.items():
+        if not name.startswith("DEWRITE_"):
+            fail(path, f"provenance knob {name!r} is not a DEWRITE_* "
+                       "name")
+        if value is not None and not isinstance(value, str):
+            fail(path, f"provenance knobs[{name!r}] must be a string "
+                       "or null")
+
+
 def check_throughput_payload(path: str, report: dict) -> None:
     """BENCH_throughput carries batching, parity, and stage fields."""
     if not _is_uint(report.get("write_batch")) \
@@ -71,14 +104,20 @@ def check_throughput_payload(path: str, report: dict) -> None:
         if not _is_uint(entry.get("result_fingerprint")):
             fail(path, f"scheme {name!r}: 'result_fingerprint' must be "
                        "a non-negative integer")
+        # stage_cycles is optional: schemes without stage gauges
+        # (e.g. secure-baseline, or runs without DEWRITE_STAGE_PROFILE)
+        # omit the block rather than writing all zeros.
         stage_cycles = entry.get("stage_cycles")
-        if not isinstance(stage_cycles, dict):
-            fail(path, f"scheme {name!r}: missing 'stage_cycles' object")
-        for stage in STAGES:
-            if not _is_number(stage_cycles.get(stage)) \
-                    or stage_cycles.get(stage) < 0:
-                fail(path, f"scheme {name!r}: stage_cycles[{stage!r}] "
-                           "must be a non-negative number")
+        if stage_cycles is not None:
+            if not isinstance(stage_cycles, dict):
+                fail(path, f"scheme {name!r}: 'stage_cycles' must be "
+                           "an object when present")
+            for stage in STAGES:
+                if not _is_number(stage_cycles.get(stage)) \
+                        or stage_cycles.get(stage) < 0:
+                    fail(path, f"scheme {name!r}: "
+                               f"stage_cycles[{stage!r}] must be a "
+                               "non-negative number")
 
     ratios = report.get("ratios")
     if not isinstance(ratios, dict):
@@ -162,6 +201,7 @@ def check_report(path: str, report: object,
             fail(path, f"{key!r} must be a non-negative integer")
     if report["threads"] < 1:
         fail(path, "'threads' must be at least 1")
+    check_provenance(path, report)
 
     if bench == "throughput":
         check_throughput_payload(path, report)
@@ -226,31 +266,51 @@ def check_file(path: str) -> None:
     check_report(path, load_file(path))
 
 
+def _provenance() -> dict:
+    return {"git_sha": "abc123", "git_dirty": False, "host_cpus": 4,
+            "knobs": {"DEWRITE_EVENTS": "6000", "DEWRITE_LOG": None}}
+
+
 def self_test() -> int:
     """Seeded-violation check: the validator must accept a conforming
     report and name the defect in each broken variant."""
     good = {"bench": "fig04", "schema_version": SCHEMA_VERSION,
-            "events_per_cell": 120000, "threads": 4, "extra": [1, 2]}
+            "events_per_cell": 120000, "threads": 4,
+            "provenance": _provenance(), "extra": [1, 2]}
     check_report("BENCH_fig04.json", good)
+
+    def fig04(**overrides: object) -> dict:
+        report = {"bench": "fig04", "schema_version": SCHEMA_VERSION,
+                  "events_per_cell": 0, "threads": 1,
+                  "provenance": _provenance()}
+        report.update(overrides)
+        return report
 
     broken = [
         ("missing required header key",
-         {"bench": "fig04", "schema_version": 1, "threads": 1}),
+         {"bench": "fig04", "schema_version": SCHEMA_VERSION,
+          "threads": 1, "provenance": _provenance()}),
         ("header keys must lead",
-         {"extra": 1, "bench": "fig04", "schema_version": 1,
-          "events_per_cell": 0, "threads": 1}),
-        ("file name does not match",
-         {"bench": "other", "schema_version": 1,
-          "events_per_cell": 0, "threads": 1}),
-        ("schema_version must be",
-         {"bench": "fig04", "schema_version": 99,
-          "events_per_cell": 0, "threads": 1}),
-        ("non-negative integer",
-         {"bench": "fig04", "schema_version": 1,
-          "events_per_cell": True, "threads": 1}),
-        ("'threads' must be at least 1",
-         {"bench": "fig04", "schema_version": 1,
-          "events_per_cell": 0, "threads": 0}),
+         {"extra": 1, **fig04()}),
+        ("file name does not match", fig04(bench="other")),
+        ("schema_version must be", fig04(schema_version=99)),
+        ("non-negative integer", fig04(events_per_cell=True)),
+        ("'threads' must be at least 1", fig04(threads=0)),
+        ("'provenance' must be an object", fig04(provenance=[1])),
+        ("'git_sha' must be a non-empty string",
+         fig04(provenance={**_provenance(), "git_sha": ""})),
+        ("'git_dirty' must be a boolean",
+         fig04(provenance={**_provenance(), "git_dirty": "no"})),
+        ("'host_cpus' must be a non-negative integer",
+         fig04(provenance={**_provenance(), "host_cpus": -1})),
+        ("'knobs' must be an object",
+         fig04(provenance={**_provenance(), "knobs": None})),
+        ("is not a DEWRITE_* name",
+         fig04(provenance={**_provenance(),
+                           "knobs": {"PATH": "/bin"}})),
+        ("must be a string or null",
+         fig04(provenance={**_provenance(),
+                           "knobs": {"DEWRITE_EVENTS": 6000}})),
         ("top level must be a JSON object", [1, 2, 3]),
     ]
     for expect, report in broken:
@@ -264,12 +324,17 @@ def self_test() -> int:
     def throughput(fingerprint: int = 7, write_batch: int = 16) -> dict:
         return {"bench": "throughput", "schema_version": SCHEMA_VERSION,
                 "events_per_cell": 6000, "threads": 1,
+                "provenance": _provenance(),
                 "write_batch": write_batch,
                 "schemes": [{"scheme": "secure-baseline",
+                             "result_fingerprint": fingerprint},
+                            {"scheme": "dewrite-direct",
                              "result_fingerprint": fingerprint,
                              "stage_cycles": {s: 0 for s in STAGES}}],
                 "ratios": {"dewrite-predicted": 0.85}}
 
+    # Both shapes must pass: a scheme with the stage block and one
+    # without it (secure-baseline omits stage_cycles entirely).
     check_report("BENCH_throughput.json", throughput())
 
     broken_throughput = [
@@ -281,6 +346,10 @@ def self_test() -> int:
          {**throughput(),
           "schemes": [{"scheme": "x", "result_fingerprint": -1,
                        "stage_cycles": {s: 0 for s in STAGES}}]}),
+        ("'stage_cycles' must be an object when present",
+         {**throughput(),
+          "schemes": [{"scheme": "x", "result_fingerprint": 1,
+                       "stage_cycles": [0, 1]}]}),
         ("stage_cycles['commit'] must be",
          {**throughput(),
           "schemes": [{"scheme": "x", "result_fingerprint": 1,
@@ -300,6 +369,7 @@ def self_test() -> int:
     def service(reference: int = 7, parity_ok: bool = True) -> dict:
         return {"bench": "service", "schema_version": SCHEMA_VERSION,
                 "events_per_cell": 6000, "threads": 1,
+                "provenance": _provenance(),
                 "write_batch": 16, "host_cpus": 1, "tenants": 16,
                 "configs": [{"shards": 1, "threads": 1, "events": 6000,
                              "wall_seconds": 0.5,

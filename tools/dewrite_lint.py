@@ -139,8 +139,16 @@ KNOWN_KNOBS = frozenset({
     "DEWRITE_LOG",           # log level
     "DEWRITE_SHARDS",        # service shard count (1..64)
     "DEWRITE_STAGE_PROFILE", # per-stage host-cycle attribution
+    "DEWRITE_TELEMETRY",     # service telemetry JSONL sink path
+    "DEWRITE_TELEMETRY_EVERY",  # telemetry emit cadence (rounds)
     "DEWRITE_THREADS",       # runner / service worker threads
 })
+
+# src/common/env.cc mirrors the catalogue as knownKnobs() so bench
+# provenance can stamp every knob's live value; the two lists must
+# stay in lockstep (checked whenever env.cc is linted).
+KNOB_MIRROR_FILE = "src/common/env.cc"
+KNOB_LITERAL_RE = re.compile(r'"(DEWRITE_[A-Z0-9_]*)"')
 
 # Calls whose first argument names an environment variable. The knob
 # literal is inspected on the raw line (strip_code erases string
@@ -302,6 +310,28 @@ def lint_text(rel: str, text: str) -> list[tuple[str, int, str, str]]:
                      "KNOWN_KNOBS catalogue (tools/dewrite_lint.py); "
                      "register new environment knobs there and "
                      "document them in README.md"))
+
+    # Catalogue lockstep: every quoted DEWRITE_* literal in env.cc is a
+    # knownKnobs() entry (its env calls take the name as a parameter),
+    # so set equality with KNOWN_KNOBS proves the C++ mirror is in sync.
+    if rel == KNOB_MIRROR_FILE and "knownKnobs" in text:
+        found: dict[str, int] = {}
+        for lineno, line in enumerate(lines, 1):
+            for match in KNOB_LITERAL_RE.finditer(line):
+                found.setdefault(match.group(1), lineno)
+        for knob in sorted(set(found) - KNOWN_KNOBS):
+            violations.append(
+                (rel, found[knob], ENV_KNOB_RULE,
+                 f"knownKnobs() lists '{knob}', which is not in the "
+                 "KNOWN_KNOBS catalogue (tools/dewrite_lint.py); the "
+                 "two lists must stay in lockstep"))
+        for knob in sorted(KNOWN_KNOBS - set(found)):
+            violations.append(
+                (rel, 1, ENV_KNOB_RULE,
+                 f"'{knob}' is in the KNOWN_KNOBS catalogue but "
+                 "missing from knownKnobs() in src/common/env.cc; the "
+                 "two lists must stay in lockstep"))
+
     violations.sort(key=lambda row: (row[0], row[1], row[2]))
     return violations
 
@@ -429,6 +459,32 @@ def self_test() -> int:
                      "// envUint(\"DEWRITE_BOGUS\") in a comment") == []
     assert lint_text("tests/common/env_test.cc",
                      "setenv(\"DEWRITE_ENV_TEST_VAR\", \"1\", 1);") == []
+
+    # Telemetry knobs are registered; a typo'd one is caught like any
+    # other unknown knob.
+    assert lint_text(
+        "src/t.cc",
+        "auto p = envUint(\"DEWRITE_TELEMETRY_EVERY\", 16, 1, 8);") == []
+    rows = lint_text(
+        "src/t.cc",
+        "auto p = envUint(\"DEWRITE_TELEMETRY_EVRY\", 16, 1, 8);")
+    assert [(r[1], r[2]) for r in rows] == [(1, "env-knob-registry")], \
+        rows
+
+    # knownKnobs() lockstep: the full catalogue passes, an extra or a
+    # missing entry in env.cc is flagged against the mirror rule.
+    catalogue = "const char *knownKnobs[] = {\n" + "\n".join(
+        f"    \"{knob}\"," for knob in sorted(KNOWN_KNOBS)) + "\n};"
+    assert lint_text("src/common/env.cc", catalogue) == []
+    rows = lint_text("src/common/env.cc",
+                     catalogue.replace("};", "    \"DEWRITE_TYPO\",\n};"))
+    assert [(r[2], "DEWRITE_TYPO" in r[3]) for r in rows] == \
+        [("env-knob-registry", True)], rows
+    rows = lint_text("src/common/env.cc",
+                     catalogue.replace("    \"DEWRITE_TELEMETRY\",\n",
+                                       ""))
+    assert [(r[2], "missing from knownKnobs()" in r[3])
+            for r in rows] == [("env-knob-registry", True)], rows
 
     print("dewrite_lint self-test: OK")
     return 0
