@@ -70,6 +70,8 @@ main(int argc, char **argv)
 {
     // Stage attribution is this bench's whole point; keep it on by
     // default but let the environment force it off (overwrite=0).
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): first line of main, no
+    // threads exist yet.
     setenv("DEWRITE_STAGE_PROFILE", "1", 0);
 
     const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;

@@ -17,12 +17,16 @@ namespace dewrite {
 const char *
 envRaw(const char *name)
 {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): knobs are read once at
+    // startup, before any worker thread exists; nothing calls setenv
+    // concurrently (tests set knobs from their single driver thread).
     return std::getenv(name);
 }
 
 bool
 envFlag(const char *name, bool fallback)
 {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): see envRaw above.
     const char *value = std::getenv(name);
     if (!value)
         return fallback;
@@ -37,6 +41,7 @@ std::uint64_t
 envUint(const char *name, std::uint64_t fallback, std::uint64_t min,
         std::uint64_t max)
 {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): see envRaw above.
     const char *value = std::getenv(name);
     if (!value)
         return fallback;

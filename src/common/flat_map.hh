@@ -257,10 +257,13 @@ class FlatMap
     void
     forEachSorted(Visitor &&visit) const
     {
+        // dewrite-analyze: allow(hot-path-purity) audit/report path only, never per-event
         std::vector<std::size_t> order;
+        // dewrite-analyze: allow(hot-path-purity) audit/report path only, never per-event
         order.reserve(size_);
         for (std::size_t i = 0; i < slots_.size(); ++i) {
             if (slots_[i].used)
+                // dewrite-analyze: allow(hot-path-purity) audit/report path only, never per-event
                 order.push_back(i);
         }
         std::sort(order.begin(), order.end(),
@@ -329,6 +332,8 @@ class FlatSet
 
     std::size_t size() const { return map_.size(); }
     bool empty() const { return map_.empty(); }
+    // dewrite-analyze: allow(hot-path-purity) construction-time pre-sizing;
+    // the hot edge is a member-name over-approximation
     void reserve(std::size_t expected) { map_.reserve(expected); }
     bool contains(const K &key) const { return map_.contains(key); }
     void prefetch(const K &key) const { map_.prefetch(key); }

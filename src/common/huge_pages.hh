@@ -43,6 +43,7 @@ namespace dewrite {
 inline std::atomic<bool> &
 hugeAdviseForceFailure()
 {
+    // dewrite-owned: sync(atomic) test hook; plain atomic flag
     static std::atomic<bool> force{ false };
     return force;
 }
@@ -55,6 +56,8 @@ hugeAdviseForceFailure()
 inline std::atomic<std::uint64_t> &
 hugeAdviseFailures()
 {
+    // dewrite-owned: sync(atomic) diagnostic counter only;
+    // never read back into simulated state
     static std::atomic<std::uint64_t> failures{ 0 };
     return failures;
 }
@@ -80,6 +83,8 @@ inline void *
 hugeAlloc(std::size_t bytes)
 {
     if (!hugeAllocEligible(bytes))
+        // dewrite-analyze: allow(hot-path-purity) demand allocation of one storage page;
+        // amortized over kPageEntries lines, then touched never
         return ::operator new(bytes);
     const std::size_t rounded =
         (bytes + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
@@ -132,6 +137,7 @@ template <typename T>
 HugeUniquePtr<T>
 makeHuge()
 {
+    // dewrite-analyze: allow(hot-path-purity) demand allocation of one storage page
     return HugeUniquePtr<T>(new (hugeAlloc(sizeof(T))) T{});
 }
 

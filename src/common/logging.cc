@@ -23,6 +23,8 @@ namespace dewrite {
 
 namespace {
 
+// dewrite-owned: sync(reportMutex) serializes stderr writes;
+// never touched per-event on shard drain paths
 std::mutex reportMutex;
 
 void
@@ -37,9 +39,12 @@ vreport(const char *prefix, const char *fmt, std::va_list args)
     if (body < 0)
         return;
 
+    // dewrite-analyze: allow(hot-path-purity) failure/diagnostic path; the process is reporting, not
+    // simulating
     std::string line(prefix);
     line += ": ";
     const std::size_t head = line.size();
+    // dewrite-analyze: allow(hot-path-purity) failure/diagnostic path
     line.resize(head + static_cast<std::size_t>(body) + 1);
     std::vsnprintf(line.data() + head,
                    static_cast<std::size_t>(body) + 1, fmt, args);

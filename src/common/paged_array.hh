@@ -71,6 +71,8 @@ class PagedArray
             static_cast<std::size_t>((bounded + kPageEntries - 1) /
                                      kPageEntries);
         if (dirs > pages_.size())
+            // dewrite-analyze: allow(hot-path-purity) construction-time pre-sizing;
+            // the hot edge is a member-name over-approximation
             pages_.resize(dirs);
     }
 
@@ -126,6 +128,7 @@ class PagedArray
             return overflow_[index];
         const std::size_t page = index / kPageEntries;
         if (page >= pages_.size())
+            // dewrite-analyze: allow(hot-path-purity) amortized page-directory growth
             pages_.resize(page + 1);
         if (!pages_[page])
             pages_[page] = makeHuge<Page>();
@@ -176,6 +179,8 @@ class DenseAddrSet
     DenseAddrSet() = default;
     explicit DenseAddrSet(std::uint64_t capacity) : flags_(capacity) {}
 
+    // dewrite-analyze: allow(hot-path-purity) construction-time pre-sizing;
+    // the hot edge is a member-name over-approximation
     void reserve(std::uint64_t capacity) { flags_.reserve(capacity); }
 
     bool

@@ -25,6 +25,8 @@ class AddressMappingTable
 {
   public:
     /** Pre-sizes the table for @p num_lines logical lines. */
+    // dewrite-analyze: allow(hot-path-purity) construction-time pre-sizing;
+    // the hot edge is a member-name over-approximation
     void reserve(std::uint64_t num_lines) { entries_.reserve(num_lines); }
 
     /** Pure cache-warming hint for logical line @p init_addr's entry. */

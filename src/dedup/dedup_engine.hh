@@ -34,7 +34,12 @@
 #include "common/stats.hh"
 #include "common/timing.hh"
 #include "common/types.hh"
+// dewrite-analyze: allow(layering) the engine prices candidate
+// writes with the controller's bit-flip model; inverting this
+// edge would duplicate the Flip-N-Write cost tables
 #include "controller/bitlevel/bitflip.hh"
+// dewrite-analyze: allow(layering) legacy back-edge for the
+// metadata-write callback interface (DESIGN.md 5i)
 #include "controller/mem_controller.hh"
 #include "crypto/counter_mode.hh"
 #include "dedup/fingerprint.hh"

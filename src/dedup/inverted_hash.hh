@@ -25,6 +25,8 @@ class InvertedHashTable
 {
   public:
     /** Pre-sizes the table for @p num_lines storage slots. */
+    // dewrite-analyze: allow(hot-path-purity) construction-time pre-sizing;
+    // the hot edge is a member-name over-approximation
     void reserve(std::uint64_t num_lines) { entries_.reserve(num_lines); }
 
     /** Pure cache-warming hint for slot @p real_addr's entry. */

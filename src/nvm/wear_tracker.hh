@@ -24,6 +24,8 @@ class WearTracker
 {
   public:
     /** Pre-sizes the per-line count array for @p num_lines addresses. */
+    // dewrite-analyze: allow(hot-path-purity) construction-time pre-sizing;
+    // the hot edge is a member-name over-approximation
     void reserve(std::uint64_t num_lines) { lineWrites_.reserve(num_lines); }
 
     /** Records one write of @p bits_written cell-bits at @p addr. */

@@ -71,6 +71,7 @@ WriteTracer::record(const WriteEvent &event)
         ++current_.overflows;
 
     if (current_.events == epochEvents_) {
+        // dewrite-analyze: allow(hot-path-purity) once per epoch (thousands of events), not per event
         epochs_.push_back(current_);
         current_ = EpochSnapshot{};
         current_.epoch = epochs_.size();

@@ -213,6 +213,7 @@ DedupService::fillRound(int side)
     return produced;
 }
 
+// dewrite-analyze: root(shard-isolation)
 ShardOutcome
 DedupService::finalizeShard(std::size_t shard_index)
 {
@@ -248,6 +249,8 @@ DedupService::finalizeShard(std::size_t shard_index)
 ServiceResult
 DedupService::run()
 {
+    // dewrite-analyze: allow(determinism) host wall-clock feeds only the
+    // events/sec report, never simulated state
     const auto host_start = std::chrono::steady_clock::now();
 
     int side = 0;
@@ -301,6 +304,8 @@ DedupService::run()
 
     result.totalEvents = produced_;
     result.hostSeconds =
+        // dewrite-analyze: allow(determinism) host wall-clock feeds only the
+        // events/sec report, never simulated state
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       host_start)
             .count();

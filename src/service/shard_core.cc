@@ -25,6 +25,7 @@ ShardCore::ShardCore(const TimingConfig &timing,
     former_.reset(batch_capacity);
 }
 
+// dewrite-analyze: root(shard-isolation)
 void
 ShardCore::flush(BatchFormer::FlushReason reason)
 {
@@ -59,6 +60,8 @@ ShardCore::flush(BatchFormer::FlushReason reason)
     }
 }
 
+// dewrite-analyze: root(shard-isolation)
+// dewrite-analyze: root(determinism)
 void
 ShardCore::feed(const MemEvent &event)
 {
@@ -96,6 +99,8 @@ ShardCore::feed(const MemEvent &event)
     }
 }
 
+// dewrite-analyze: root(shard-isolation)
+// dewrite-analyze: root(determinism)
 void
 ShardCore::feed(const MemEvent *events, std::size_t count)
 {
@@ -103,6 +108,8 @@ ShardCore::feed(const MemEvent *events, std::size_t count)
         feed(events[i]);
 }
 
+// dewrite-analyze: root(shard-isolation)
+// dewrite-analyze: root(determinism)
 RunResult
 ShardCore::finish()
 {

@@ -74,6 +74,7 @@ System::System(const SystemConfig &config, const SchemeOptions &scheme)
 {
 }
 
+// dewrite-analyze: root(determinism)
 RunResult
 System::run(TraceSource &trace, std::uint64_t max_events)
 {
@@ -86,6 +87,7 @@ System::run(TraceSource &trace, std::uint64_t max_events)
     return result;
 }
 
+// dewrite-analyze: root(determinism)
 RunResult
 System::run(const std::vector<TraceSource *> &traces,
             std::uint64_t max_events)

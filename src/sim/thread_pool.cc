@@ -18,6 +18,7 @@ namespace dewrite {
 namespace {
 
 /** Worker index within the owning pool; -1 on non-pool threads. */
+// dewrite-owned: shard
 thread_local int tlsWorkerIndex = -1;
 
 } // namespace

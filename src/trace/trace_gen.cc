@@ -177,6 +177,8 @@ SyntheticWorkload::next(MemEvent &event)
     }
 
     if (!image_.isWritten(event.addr))
+        // dewrite-analyze: allow(hot-path-purity) workload synthesis is setup/driver
+        // code; the hot edge is a member-name over-approximation
         writtenAddrs_.push_back(event.addr);
     image_.refForWrite(event.addr) = event.data;
     if (dup)

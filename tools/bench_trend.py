@@ -354,6 +354,47 @@ def self_test() -> int:
             raise AssertionError("accepted a stream with no final "
                                  "frame")
 
+    # End-to-end through main(): a host-shape mismatch must skip the
+    # events/sec gate (exit 0, skip note printed) yet still hard-fail
+    # a fingerprint drift (exit 1) — the CI contract for runs recorded
+    # on a differently-sized host than the baseline machine.
+    import contextlib
+    import io
+
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline_path = os.path.join(tmp, "bench_baseline.json")
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle)
+        report_path = os.path.join(tmp, "BENCH_throughput.json")
+        history = os.path.join(tmp, "BENCH_history.jsonl")
+
+        def run_check(report: dict) -> tuple[int, str]:
+            with open(report_path, "w", encoding="utf-8") as handle:
+                json.dump(report, handle)
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out), \
+                    contextlib.redirect_stderr(out):
+                code = main(["--check", "--baseline", baseline_path,
+                             "--history", history, report_path])
+            return code, out.getvalue()
+
+        # A 20% regression on a different host shape passes, with the
+        # skip note on stdout; the identical regression on the
+        # baseline's own shape fails.
+        code, output = run_check(throughput_report(eps=8000.0,
+                                                   host_cpus=64))
+        assert code == 0 and "gate skipped" in output, (code, output)
+        code, output = run_check(throughput_report(eps=8000.0))
+        assert code == 1 and "events/sec regression" in output, \
+            (code, output)
+
+        # A fingerprint drift is host-portable: it fails even when the
+        # host shape differs and the throughput gate is skipped.
+        code, output = run_check(throughput_report(fingerprint=9,
+                                                   host_cpus=64))
+        assert code == 1 and "parity fingerprint changed" in output, \
+            (code, output)
+
     print("bench_trend self-test: OK")
     return 0
 

@@ -27,6 +27,12 @@ Rules
                           hot``, allocation-shaped calls (new,
                           make_unique, push_back, resize, ...) are
                           banned.
+  no-raw-assert           assert( is banned in src/: it vanishes under
+                          NDEBUG and aborts without context.  Use
+                          DEWRITE_CHECK (always on, prints the
+                          expression and location) or DEWRITE_DCHECK
+                          (debug-only) from common/check.hh.
+                          static_assert is unaffected.
   env-getenv-funnel       std::getenv may appear only in
                           src/common/env.cc so every environment
                           variable goes through one audited funnel.
@@ -112,6 +118,12 @@ RULES = [
          hot_only=True,
          message="allocation-shaped construct inside a "
                  "'// dewrite-lint: hot' function"),
+    Rule("no-raw-assert",
+         r"(?<![\w.])assert\s*\(",
+         dirs=("src",),
+         message="raw assert( vanishes under NDEBUG and aborts "
+                 "without context; use DEWRITE_CHECK / DEWRITE_DCHECK "
+                 "(src/common/check.hh). static_assert is fine"),
     Rule("env-getenv-funnel",
          r"\bgetenv\s*\(",
          dirs=("src", "tests", "bench", "examples"),
@@ -396,6 +408,9 @@ def self_test() -> int:
         "const char *s = \"rand( in a string is fine\";",
         "std::uint64_t n = envUint(\"DEWRITE_SHRADS\", 1, 1, 8);",
         "std::uint64_t k = envUint(\"DEWRITE_SHARDS\", 1, 1, 64);",
+        "assert(x > 0);",                           # raw assert (19)
+        "static_assert(sizeof(int) == 4, \"x\");",  # NOT raw: ok
+        "DEWRITE_CHECK(x > 0, \"x\");",             # NOT raw: ok
     ])
     rows = lint_text("src/seeded.cc", seeded)
     fired = {(line, rule) for _f, line, rule, _m in rows}
@@ -413,6 +428,8 @@ def self_test() -> int:
         (14, "env-knob-registry"),   # neither is DEWRITE_Y
         (17, "env-knob-registry"),   # typo'd DEWRITE_SHRADS caught
         # line 18: DEWRITE_SHARDS is registered -> silent
+        (19, "no-raw-assert"),
+        # lines 20-21: static_assert / DEWRITE_CHECK -> silent
     }
     assert fired == expect, f"seeded mismatch: {sorted(fired)}"
 
@@ -440,6 +457,17 @@ def self_test() -> int:
 
     # forEachSorted never trips the unsorted-iteration rule.
     assert lint_text("src/x.cc", "m.forEachSorted(f);") == []
+
+    # no-raw-assert: tests/ and bench/ may assert freely, allow()
+    # names a deliberate exception, and member .assert( (a DSL-ish
+    # method) is not the C macro.
+    assert lint_text("tests/t.cc", "assert(ok);") == []
+    assert lint_text("bench/b.cc", "assert(ok);") == []
+    assert lint_text(
+        "src/x.cc",
+        "// dewrite-lint: allow(no-raw-assert) ffi contract\n"
+        "assert(handle != nullptr);") == []
+    assert lint_text("src/x.cc", "checker.assert(ok);") == []
 
     # env-knob-registry: registered knobs pass in every scoped dir,
     # setenv of an unknown knob fires in tests/, allow() suppresses,
