@@ -55,7 +55,9 @@ Front-ends
   The call graph is built from clang's ``-Xclang -ast-dump=json`` over
   ``compile_commands.json`` when a clang binary is available
   (``--frontend clang``; dumps are cached under --cache-dir keyed on
-  compiler, flags, and file content). When clang is absent the tool
+  compiler, flags, the TU's content, and the full src/ header set —
+  header-defined inline functions live inside TU dumps, so a header
+  edit invalidates every dump). When clang is absent the tool
   falls back to a built-in lexical-structural front-end
   (``--frontend internal``) that parses the same sources directly, so
   the prover still gates on minimal containers; ``--frontend clang``
@@ -619,6 +621,50 @@ def ast_dump_command(entry: dict) -> list[str]:
                   "-Xclang", "-ast-dump=json"]
 
 
+_CLANG_VERSION: dict[str, str] = {}
+
+
+def clang_version(binary: str) -> str:
+    """'clang --version' output, memoized per binary: it is part of
+    every TU's cache key and must not re-run 150+ times per tree."""
+    if binary not in _CLANG_VERSION:
+        _CLANG_VERSION[binary] = subprocess.run(
+            [binary, "--version"], capture_output=True, text=True,
+            check=False).stdout
+    return _CLANG_VERSION[binary]
+
+
+_HEADER_HASH: str | None = None
+
+
+def tree_header_hash() -> str:
+    """sha256 over every src/ header's path and content, memoized.
+
+    Header-defined inline functions (and their line numbers) are
+    extracted from each including TU's dump, so a header edit must
+    invalidate every cached dump that could textually include it —
+    otherwise a restored CI cache serves stale dumps for unchanged
+    .cc files and new header code becomes invisible (or stale line
+    ranges misalign against the fresh header text). Hashing the whole
+    header set into every key is coarser than an exact -MM dependency
+    list but safe by construction and one pass per run.
+    """
+    global _HEADER_HASH
+    if _HEADER_HASH is None:
+        digest = hashlib.sha256()
+        for absolute in sorted(glob.glob(
+                os.path.join(REPO_ROOT, "src/**/*.hh"),
+                recursive=True)):
+            rel = os.path.relpath(absolute, REPO_ROOT) \
+                .replace(os.sep, "/")
+            digest.update(rel.encode() + b"\0")
+            with open(absolute, "rb") as handle:
+                digest.update(handle.read())
+            digest.update(b"\0")
+        _HEADER_HASH = digest.hexdigest()
+    return _HEADER_HASH
+
+
 def cached_ast_dump(binary: str, entry: dict, cache_dir: str) -> dict:
     """Run (or reuse) one TU's AST dump; returns the parsed JSON."""
     args = ast_dump_command(entry)
@@ -626,11 +672,10 @@ def cached_ast_dump(binary: str, entry: dict, cache_dir: str) -> dict:
         entry.get("directory", "."), entry["file"]))
     with open(source, "rb") as handle:
         content = handle.read()
-    version = subprocess.run([binary, "--version"], capture_output=True,
-                             text=True, check=False).stdout
     key = hashlib.sha256()
-    key.update(version.encode())
+    key.update(clang_version(binary).encode())
     key.update("\0".join(args).encode())
+    key.update(tree_header_hash().encode())
     key.update(content)
     os.makedirs(cache_dir, exist_ok=True)
     cache_path = os.path.join(cache_dir, key.hexdigest() + ".json.gz")
@@ -757,6 +802,25 @@ class _AstWalker:
             # front-end: also record the bare name.
             if qname and "::" in qname:
                 fn.calls.append(qname.split("::")[-1])
+        # Member calls (obj.f(), this->f(), implicit this) carry no
+        # referencedDecl: clang encodes them as CXXMemberCallExpr ->
+        # MemberExpr whose 'referencedMemberDecl' is the bare hex id
+        # of the method's in-class declaration. The class definition
+        # precedes every use in the TU, so the id resolves through
+        # decl_names; an unresolved id (dependent template member,
+        # field access) falls back to the spelled name, which the
+        # over-approximate call graph treats like any unqualified
+        # call. Without this branch the closures from method-heavy
+        # roots (ShardCore::flush et al.) are near-empty and every
+        # reachability rule passes vacuously.
+        mref = node.get("referencedMemberDecl")
+        if node.get("kind") == "MemberExpr" and mref:
+            qname = self.decl_names.get(int(mref, 16))
+            name = qname or node.get("name", "")
+            if name:
+                fn.calls.append(name)
+                if "::" in name:
+                    fn.calls.append(name.split("::")[-1])
         if node.get("kind") == "VarDecl" \
                 and node.get("storageClass") == "static" \
                 and "const" not in node.get("type", {}).get(
@@ -1193,10 +1257,77 @@ SEEDED_BREAKS = [
 ]
 
 
-def check_seeded_break() -> int:
+#: Sentinel callees for the clang front-end teeth check. Each is a
+#: function that enters its closure *only* through member-call edges
+#: (``former_.flush``, ``fingerprinter_.fingerprint``): if MemberExpr
+#: resolution regresses, these vanish from the closure and the check
+#: fails even though the (near-empty) closure itself reports clean.
+CLANG_SENTINELS = (
+    ("shard-isolation", "BatchFormer::flush"),
+    ("determinism", "BatchFormer::flush"),
+    ("hot-path-purity", "Fingerprinter::fingerprint"),
+)
+
+
+def check_clang_closures(binary: str, build_dir: str,
+                         cache_dir: str) -> int:
+    """Prove the clang front-end's call graph is non-vacuous.
+
+    The seeded-break pass feeds patched sources through the internal
+    parser; the clang pipeline reads real files and a compile
+    database, so it cannot be seeded in-memory. Instead, assert that
+    each rule's closure over the *live* tree reaches a known sentinel
+    callee via at least one call edge — the property the
+    referencedMemberDecl handling exists to provide. A silent
+    regression there would shrink every closure to its roots and pass
+    the main gate while proving nothing; it fails here instead.
+    """
+    try:
+        tree = load_tree_clang(binary, build_dir, cache_dir)
+    except SystemExit as err:
+        print(err, file=sys.stderr)
+        return 2
+    graph = CallGraph(tree)
+    failures = 0
+    for rule, sentinel in CLANG_SENTINELS:
+        roots = hot_roots(tree) if rule == "hot-path-purity" \
+            else collect_roots(tree, rule)
+        if not roots:
+            print(f"error: clang front-end found no roots for {rule}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        closure = graph.reachable(roots)
+        hit = next((fn for fn in closure
+                    if fn.qname.endswith(sentinel)
+                    and len(closure[fn]) >= 2), None)
+        if hit is None:
+            print(f"error: clang {rule} closure ({len(closure)} "
+                  f"function(s) from {len(roots)} root(s)) never "
+                  f"reaches sentinel '{sentinel}' through a call "
+                  f"edge; member-call resolution has regressed",
+                  file=sys.stderr)
+            failures += 1
+        else:
+            print(f"clang closure check: [{rule}] {len(closure)} "
+                  f"functions; sentinel via "
+                  f"{witness(closure[hit])}")
+    if failures:
+        return 1
+    print("dewrite_analyze clang closure check: OK "
+          f"({len(CLANG_SENTINELS)} sentinels reached)")
+    return 0
+
+
+def check_seeded_break(frontend: str = "internal",
+                       binary: str | None = None,
+                       build_dir: str | None = None,
+                       cache_dir: str = DEFAULT_CACHE) -> int:
     """Prove each rule still has teeth on the *real* tree: a clean
     baseline run, then one deliberate violation per rule, each of
-    which must fail naming exactly that rule."""
+    which must fail naming exactly that rule. With the clang
+    front-end selected, additionally prove the clang call graph is
+    non-vacuous (see check_clang_closures)."""
     sources = collect_sources()
     clean = analyze(load_tree_internal(sources), require_roots=True)
     if clean:
@@ -1225,6 +1356,10 @@ def check_seeded_break() -> int:
     print("dewrite_analyze seeded-break check: OK "
           f"({len(SEEDED_BREAKS)} rules verified against the live "
           "tree)")
+    if frontend == "clang" and binary is not None:
+        return check_clang_closures(
+            binary, build_dir or os.path.join(REPO_ROOT, "build"),
+            cache_dir)
     return 0
 
 
@@ -1454,7 +1589,9 @@ def self_test() -> int:
                   "name": "ShardCore",
                   "inner": [
                       {"id": "0x30", "kind": "CXXMethodDecl",
-                       "name": "flush", "loc": {"line": 5}}]},
+                       "name": "flush", "loc": {"line": 5}},
+                      {"id": "0x50", "kind": "CXXMethodDecl",
+                       "name": "stage", "loc": {"line": 6}}]},
                  {"id": "0x40", "kind": "CXXMethodDecl",
                   "name": "flush",
                   "parentDeclContextId": "0x20",
@@ -1466,6 +1603,16 @@ def self_test() -> int:
                            "referencedDecl": {
                                "id": "0x99", "kind": "FunctionDecl",
                                "name": "helper"}},
+                          # Member call: CXXMemberCallExpr ->
+                          # MemberExpr with a bare hex id, the shape
+                          # referencedDecl handling never sees.
+                          {"kind": "CXXMemberCallExpr", "inner": [
+                              {"kind": "MemberExpr", "name": "stage",
+                               "referencedMemberDecl": "0x50"}]},
+                          # Unresolvable member id (dependent member)
+                          # falls back to the spelled name.
+                          {"kind": "MemberExpr", "name": "commit",
+                           "referencedMemberDecl": "0xdead"},
                           {"kind": "VarDecl", "name": "leak",
                            "storageClass": "static",
                            "type": {"qualType": "int"}},
@@ -1475,6 +1622,12 @@ def self_test() -> int:
     assert len(fns) == 1 and fns[0].qname == "dewrite::ShardCore::flush"
     assert fns[0].line == 12 and fns[0].end_line == 20
     assert "helper" in fns[0].calls
+    # Member calls resolve through decl_names to the qualified method
+    # (plus the bare name for virtual dispatch); unresolved ids keep
+    # the spelled name so the closure stays over-approximate.
+    assert "dewrite::ShardCore::stage" in fns[0].calls, fns[0].calls
+    assert "stage" in fns[0].calls, fns[0].calls
+    assert "commit" in fns[0].calls, fns[0].calls
     assert [(gv.name, gv.owner) for gv in walker.globals] == \
         [("leak", "dewrite::ShardCore::flush")], walker.globals
 
@@ -1542,8 +1695,6 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.self_test:
         return self_test()
-    if args.check_seeded_break:
-        return check_seeded_break()
 
     frontend = args.frontend
     binary = find_clang(args.clang)
@@ -1554,10 +1705,19 @@ def main(argv: list[str] | None = None) -> int:
             print("error: clang not found and --require given",
                   file=sys.stderr)
             return 3
-        print("dewrite_analyze: clang not installed; skipping the "
-              "AST front-end (use --frontend internal for the "
-              "built-in parser; CI uses --require)")
-        return 0
+        if args.check_seeded_break:
+            print("dewrite_analyze: clang not installed; seeded-break "
+                  "check runs on the internal front-end only")
+            frontend = "internal"
+        else:
+            print("dewrite_analyze: clang not installed; skipping the "
+                  "AST front-end (use --frontend internal for the "
+                  "built-in parser; CI uses --require)")
+            return 0
+
+    if args.check_seeded_break:
+        return check_seeded_break(frontend, binary, args.build_dir,
+                                  args.cache_dir)
 
     if frontend == "clang":
         try:
