@@ -77,7 +77,8 @@ main()
         std::vector<ExperimentResult> cells(6);
         parallelFor(cells.size(), [&](std::size_t i) {
             DeWriteController::Options options;
-            options.confirmByRead = i % 2 == 0;
+            options.detect = i % 2 == 0 ? DetectPolicy::ConfirmRead
+                                        : DetectPolicy::WeakOnly;
             cells[i] = run(kApps[i / 2], config, options);
         });
         TablePrinter table({ "app", "confirm", "write lat (ns)",

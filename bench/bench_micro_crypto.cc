@@ -15,6 +15,7 @@
 #include "crypto/aes128.hh"
 #include "crypto/counter_mode.hh"
 #include "crypto/direct_encrypt.hh"
+#include "crypto/strong_fingerprint.hh"
 #include "sim/system.hh"
 
 namespace {
@@ -149,6 +150,34 @@ BM_Crc32cLine(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) * kLineSize);
 }
 BENCHMARK(BM_Crc32cLine);
+
+void
+BM_StrongFingerprintLine(benchmark::State &state)
+{
+    Rng rng(3);
+    const Line line = Line::random(rng);
+    for (auto _ : state) {
+        StrongFp fp = strongFingerprint(line);
+        benchmark::DoNotOptimize(fp);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineSize);
+}
+BENCHMARK(BM_StrongFingerprintLine);
+
+void
+BM_StrongFingerprintLineReference(benchmark::State &state)
+{
+    Rng rng(3);
+    const Line line = Line::random(rng);
+    for (auto _ : state) {
+        StrongFp fp = strongFingerprintReference(line);
+        benchmark::DoNotOptimize(fp);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineSize);
+}
+BENCHMARK(BM_StrongFingerprintLineReference);
 
 void
 BM_ContentDigest(benchmark::State &state)

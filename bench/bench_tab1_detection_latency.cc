@@ -79,7 +79,8 @@ main()
                                md5_config.memory.numLines);
     DedupEngine md5_engine(
         md5_config, md5_device, md5_metadata, cme,
-        DedupEngine::Options{ true, nullptr, 4, HashFunction::Md5 });
+        DedupEngine::Options{ DetectPolicy::ConfirmRead, nullptr, 4,
+                              HashFunction::Md5 });
 
     const DetectOutcome md5_seed =
         md5_engine.detect(duplicate_content, 0, true);

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/logging.hh"
 
@@ -58,6 +59,27 @@ envUint(const char *name, std::uint64_t fallback, std::uint64_t min,
     return parsed;
 }
 
+std::size_t
+envChoice(const char *name, std::size_t fallback,
+          const char *const *names, std::size_t count)
+{
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): see envRaw above.
+    const char *value = std::getenv(name);
+    if (!value)
+        return fallback;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (std::strcmp(value, names[i]) == 0)
+            return i;
+    }
+    std::string accepted;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (i > 0)
+            accepted += ", ";
+        accepted += names[i];
+    }
+    fatal("%s=\"%s\" is not one of: %s", name, value, accepted.c_str());
+}
+
 const std::vector<const char *> &
 knownKnobs()
 {
@@ -67,6 +89,8 @@ knownKnobs()
         "DEWRITE_AUDIT",
         "DEWRITE_AUDIT_EPOCH",
         "DEWRITE_BATCH",
+        "DEWRITE_DETECT",
+        "DEWRITE_DETECT_EPOCH",
         "DEWRITE_EVENTS",
         "DEWRITE_LOG",
         "DEWRITE_SHARDS",

@@ -18,6 +18,7 @@
 #ifndef DEWRITE_COMMON_ENV_HH
 #define DEWRITE_COMMON_ENV_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -46,6 +47,14 @@ bool envFlag(const char *name, bool fallback);
  */
 std::uint64_t envUint(const char *name, std::uint64_t fallback,
                       std::uint64_t min, std::uint64_t max);
+
+/**
+ * Strict enumerated choice: unset returns @p fallback; a value equal
+ * to one of the @p count strings in @p names parses to its index;
+ * anything else is rejected with fatal() listing every accepted name.
+ */
+std::size_t envChoice(const char *name, std::size_t fallback,
+                      const char *const *names, std::size_t count);
 
 /**
  * Every DEWRITE_* environment knob the simulator recognizes, sorted.

@@ -65,6 +65,14 @@ struct TimingConfig
     /** CRC-32 of a 256 B line in dedicated hardware (15 ns). */
     Time crc32Line = 15 * kNanoSecond;
 
+    /**
+     * 128-bit strong fingerprint of a 256 B line (DESIGN.md §5j): the
+     * line streams through a handful of pipelined AES rounds, so the
+     * latency sits between the CRC (15 ns) and a full AES line
+     * encryption (96 ns, ten rounds per block).
+     */
+    Time strongFpLine = 40 * kNanoSecond;
+
     /** SHA-1 of a line in hardware — Table Ia comparison point (321 ns). */
     Time sha1Line = 321 * kNanoSecond;
 
@@ -115,6 +123,13 @@ struct EnergyConfig
 
     /** Line comparison logic per line. */
     Energy compareLine = 20;
+
+    /**
+     * Strong-fingerprint engine energy per line — a few AES-round
+     * passes over 16 blocks, about a quarter of a full line encryption
+     * (EnergyConfig::aesLine() = 94.4 nJ).
+     */
+    Energy strongFpLine = 20000;
 
     /** PCM read energy per bit (5 pJ/bit -> 10.24 nJ per line). */
     Energy nvmReadPerBit = 5;

@@ -39,9 +39,11 @@ DeWriteController::DeWriteController(const SystemConfig &config,
                    ? nullptr
                    : makeReducer(options.technique, cme_)),
       engine_(config, device, metadata_, cme_,
-              DedupEngine::Options{ options.confirmByRead, reducer_.get(),
+              DedupEngine::Options{ options.detect, reducer_.get(),
                                     /*maxChainProbe=*/4,
-                                    options.hashFunction }),
+                                    options.hashFunction,
+                                    /*counterBits=*/28,
+                                    options.detectEpochWrites }),
       predictor_(options.historyBits), options_(options),
       auditPerEpoch_(auditEnabled()),
       auditEpochWrites_(auditPerEpoch_ ? auditEpochWrites() : 0)
@@ -78,6 +80,10 @@ DeWriteController::name() const
         label += "+";
         label += hashSpec(options_.hashFunction).name;
     }
+    if (options_.detect != DetectPolicy::ConfirmRead) {
+        label += "+";
+        label += detectPolicyName(options_.detect);
+    }
     return label;
 }
 
@@ -107,20 +113,26 @@ DeWriteController::writeBatch(const CtrlWriteRequest *requests,
     }
 
     // The engine digests every member, prefetches all metadata buckets,
-    // and pre-generates the candidate pads 8-wide; the members then
-    // replay through the exact serial write path with their digest
-    // handed in.
+    // and pre-generates the candidate pads 8-wide (strong fingerprints
+    // take the skipped confirm pads' slot in the weak+strong tier); the
+    // members then replay through the exact serial write path with
+    // their digest — and fingerprint, when flagged — handed in.
     std::array<std::uint64_t, kMaxWriteBatch> hashes;
-    engine_.prepareBatch(requests, count, hashes.data());
+    std::array<StrongFp, kMaxWriteBatch> strong_fps;
+    std::array<std::uint8_t, kMaxWriteBatch> strong_ready;
+    engine_.prepareBatch(requests, count, hashes.data(),
+                         strong_fps.data(), strong_ready.data());
     for (std::size_t i = 0; i < count; ++i) {
         results[i] = writeOne(requests[i].addr, *requests[i].data,
-                              requests[i].now, &hashes[i]);
+                              requests[i].now, &hashes[i],
+                              strong_ready[i] ? &strong_fps[i] : nullptr);
     }
 }
 
 CtrlWriteResult
 DeWriteController::writeOne(LineAddr addr, const Line &data, Time now,
-                            const std::uint64_t *precomputed_hash)
+                            const std::uint64_t *precomputed_hash,
+                            const StrongFp *precomputed_strong)
 {
     DetectOutcome det;
     Time encrypt_ready = 0;
@@ -130,7 +142,7 @@ DeWriteController::writeOne(LineAddr addr, const Line &data, Time now,
     switch (options_.mode) {
       case DedupMode::Direct:
         det = engine_.detect(data, now, /*allow_nvm_fill=*/true,
-                             precomputed_hash);
+                             precomputed_hash, precomputed_strong);
         if (!det.duplicate) {
             // Serial: the AES engine starts only after detection rules
             // out a duplicate.
@@ -146,7 +158,7 @@ DeWriteController::writeOne(LineAddr addr, const Line &data, Time now,
         speculative_encryption = true;
         encrypt_ready = now + config_.timing.aesLine;
         det = engine_.detect(data, now, /*allow_nvm_fill=*/true,
-                             precomputed_hash);
+                             precomputed_hash, precomputed_strong);
         break;
 
       case DedupMode::Predicted:
@@ -155,7 +167,7 @@ DeWriteController::writeOne(LineAddr addr, const Line &data, Time now,
             // Predicted duplicate: direct path, and the PNA scheme
             // allows the in-NVM hash-table query.
             det = engine_.detect(data, now, /*allow_nvm_fill=*/true,
-                                 precomputed_hash);
+                                 precomputed_hash, precomputed_strong);
             if (!det.duplicate) {
                 startEncryption();
                 encrypt_ready = det.done + config_.timing.aesLine;
@@ -168,7 +180,7 @@ DeWriteController::writeOne(LineAddr addr, const Line &data, Time now,
             encrypt_ready = now + config_.timing.aesLine;
             det = engine_.detect(data, now,
                                  /*allow_nvm_fill=*/!options_.pnaEnabled,
-                                 precomputed_hash);
+                                 precomputed_hash, precomputed_strong);
         }
         break;
     }

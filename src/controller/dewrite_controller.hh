@@ -50,7 +50,18 @@ class DeWriteController : public MemController
         DedupMode mode = DedupMode::Predicted;
         bool pnaEnabled = true;   //!< Prediction-gated NVM hash queries.
         unsigned historyBits = 3; //!< Predictor window (Figure 4).
-        bool confirmByRead = true;//!< Disable only for the ablation.
+
+        /**
+         * How weak-fingerprint matches resolve (DESIGN.md §5j). The
+         * default follows DEWRITE_DETECT so every scheme — examples,
+         * experiments, service shards — inherits the knob; the paper's
+         * confirm-read remains the fallback when it is unset.
+         */
+        DetectPolicy detect = detectPolicyFromEnv();
+
+        /** Adaptive epoch length in commits (DEWRITE_DETECT_EPOCH). */
+        std::uint64_t detectEpochWrites = detectEpochFromEnv();
+
         BitTechnique technique = BitTechnique::None; //!< Fig. 13 combos.
 
         /**
@@ -127,7 +138,8 @@ class DeWriteController : public MemController
      * digest round) skips re-fingerprinting inside detect().
      */
     CtrlWriteResult writeOne(LineAddr addr, const Line &data, Time now,
-                             const std::uint64_t *precomputed_hash);
+                             const std::uint64_t *precomputed_hash,
+                             const StrongFp *precomputed_strong = nullptr);
 
     const SystemConfig &config_;
     NvmDevice &device_;

@@ -21,10 +21,43 @@
 
 #include "common/check.hh"
 #include "common/crc32.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "nvm/nvm_device.hh"
 
 namespace dewrite {
+
+const char *
+detectPolicyName(DetectPolicy policy)
+{
+    switch (policy) {
+      case DetectPolicy::ConfirmRead:
+        return "confirm-read";
+      case DetectPolicy::WeakOnly:
+        return "weak-only";
+      case DetectPolicy::WeakStrong:
+        return "weak-strong";
+      case DetectPolicy::Adaptive:
+        return "adaptive";
+    }
+    panic("bad detect policy");
+}
+
+DetectPolicy
+detectPolicyFromEnv()
+{
+    // Names indexed by the DetectPolicy enum values.
+    static const char *const kNames[] = { "confirm-read", "weak-only",
+                                          "weak-strong", "adaptive" };
+    return static_cast<DetectPolicy>(
+        envChoice("DEWRITE_DETECT", 0, kNames, 4));
+}
+
+std::uint64_t
+detectEpochFromEnv()
+{
+    return envUint("DEWRITE_DETECT_EPOCH", 4096, 64, 1ULL << 20);
+}
 
 DedupEngine::DedupEngine(const SystemConfig &config, NvmDevice &device,
                          MetadataCache &metadata, CounterModeEngine &cme,
@@ -129,6 +162,35 @@ DedupEngine::registerMetrics(obs::MetricRegistry::Scope scope) const
     scope.gauge("energy_pj",
                 [this] { return static_cast<double>(totalEnergy()); },
                 "dedup logic + engine-issued AES energy");
+
+    obs::MetricRegistry::Scope detect = scope.scope("detect");
+    detect.gauge("mode",
+                 [this] {
+                     return static_cast<double>(
+                         static_cast<int>(operationalDetectMode()));
+                 },
+                 "operational detection mode (0=confirm-read "
+                 "1=weak-only 2=weak-strong)");
+    detect.counter("detects", detects_,
+                   "authoritative duplicate detections");
+    detect.counter("confirm_reads", confirmReads_,
+                   "candidate lines read for confirmation");
+    detect.counter("confirm_reads_avoided", confirmReadsAvoided_,
+                   "confirmations resolved by a cached strong "
+                   "fingerprint instead of a read");
+    detect.counter("strong_fp_computes", strongFpComputes_,
+                   "strong fingerprints computed (incoming or stored)");
+    detect.counter("strong_fp_hits", strongFpHits_,
+                   "candidates compared via a valid cached fingerprint");
+    detect.counter("strong_fp_caches", strongFpCaches_,
+                   "fingerprints lazily installed on first confirmation");
+    detect.counter("mode_switches", detectModeSwitches_,
+                   "adaptive epoch transitions between tiers");
+    detect.gauge("latency_ps_total",
+                 [this] {
+                     return static_cast<double>(detectPicoseconds_);
+                 },
+                 "summed simulated detection latency");
 
     obs::MetricRegistry::Scope pad = scope.scope("pad_cache");
     pad.counter("hits", padCache_.hitCounter(),
@@ -244,10 +306,29 @@ DedupEngine::peekBumpedCounter(LineAddr slot) const
 // dewrite-lint: hot
 void
 DedupEngine::prepareBatch(const CtrlWriteRequest *requests,
-                          std::size_t count, std::uint64_t *hashes)
+                          std::size_t count, std::uint64_t *hashes,
+                          StrongFp *strong_fps, std::uint8_t *strong_ready)
 {
     DEWRITE_DCHECK(count <= kMaxWriteBatch, "batch of %zu exceeds %zu",
                    count, kMaxWriteBatch);
+
+    // In the weak+strong tier, candidates whose fingerprint is already
+    // cached take the fingerprint compare instead of a confirmation
+    // read, so their line/pad prefetches would be pure waste; the freed
+    // AES slot batch-computes the members' own strong fingerprints.
+    const DetectPolicy mode = fingerprinter_.cryptographic()
+        ? DetectPolicy::WeakOnly
+        : operationalDetectMode();
+    const bool strong_mode = mode == DetectPolicy::WeakStrong &&
+        strong_fps && strong_ready;
+    const auto strongTier = [&](const HashEntry &entry) {
+        return strong_mode && entry.strongValid &&
+               entry.reference != HashStore::kMaxReference;
+    };
+    if (strong_ready) {
+        for (std::size_t i = 0; i < count; ++i)
+            strong_ready[i] = 0;
+    }
 
     // Round 1: fingerprint every member back to back — pure SIMD CRC
     // work with no dependent loads between members.
@@ -274,7 +355,9 @@ DedupEngine::prepareBatch(const CtrlWriteRequest *requests,
 
     // Round 3: walk the (now warm) buckets and prefetch each live
     // candidate's stored line and metadata homes — again all members
-    // before any consumption...
+    // before any consumption. Strong-tier candidates skip the line
+    // prefetch (no confirmation read will touch them) but keep the
+    // metadata warm-ups: detect still probes their records.
     {
         obs::StageTimer timer(stageSink(stageCycles_.probe));
         for (std::size_t i = 0; i < count; ++i) {
@@ -284,10 +367,25 @@ DedupEngine::prepareBatch(const CtrlWriteRequest *requests,
                 if (++probes > options_.maxChainProbe)
                     break;
                 const LineAddr slot = chain[j].realAddr;
-                device_.prefetchLine(slot);
+                if (!strongTier(chain[j]))
+                    device_.prefetchLine(slot);
                 mapping_.prefetch(slot);
                 invHash_.prefetch(slot);
             }
+        }
+    }
+
+    // In strong mode, batch-generate each live-chain member's own
+    // strong fingerprint in the slot the skipped confirm pads vacated;
+    // detect() takes it as @p precomputed_strong instead of computing
+    // inline. Members with an empty chain never need one.
+    if (strong_mode) {
+        obs::StageTimer timer(stageSink(stageCycles_.digest));
+        for (std::size_t i = 0; i < count; ++i) {
+            if (hashStore_.lookup(hashes[i]).empty())
+                continue;
+            strong_fps[i] = strongFingerprint(*requests[i].data);
+            strong_ready[i] = 1;
         }
     }
 
@@ -316,6 +414,8 @@ DedupEngine::prepareBatch(const CtrlWriteRequest *requests,
                 num_pads >= pad_requests.size()) {
                 break;
             }
+            if (strongTier(chain[j]))
+                continue;
             const LineAddr slot = chain[j].realAddr;
             pad_requests[num_pads++] = { slot, effectiveCounter(slot) };
         }
@@ -324,6 +424,51 @@ DedupEngine::prepareBatch(const CtrlWriteRequest *requests,
         obs::StageTimer timer(stageSink(stageCycles_.pad));
         padCache_.fill(cme_, pad_requests.data(), num_pads);
     }
+}
+
+void
+DedupEngine::noteCommitForEpoch(bool duplicate)
+{
+    if (options_.detect != DetectPolicy::Adaptive)
+        return;
+    ++epochWrites_;
+    if (duplicate)
+        ++epochDups_;
+    if (epochWrites_ >= options_.detectEpochWrites)
+        rollDetectEpoch();
+}
+
+void
+DedupEngine::rollDetectEpoch()
+{
+    const double ratio = static_cast<double>(epochDups_) /
+                         static_cast<double>(epochWrites_);
+    epochWrites_ = 0;
+    epochDups_ = 0;
+
+    DetectPolicy next = adaptiveMode_;
+    if (adaptiveMode_ == DetectPolicy::WeakStrong) {
+        // Hysteresis: drop back to confirmation reads only when the
+        // duplicate ratio falls clearly below the entry threshold, so
+        // a workload hovering near one threshold cannot thrash the
+        // mode every epoch.
+        if (ratio < kExitStrongRatio)
+            next = DetectPolicy::ConfirmRead;
+    } else if (ratio >= kEnterStrongRatio) {
+        next = DetectPolicy::WeakStrong;
+    }
+    if (next != adaptiveMode_) {
+        adaptiveMode_ = next;
+        detectModeSwitches_.increment();
+    }
+}
+
+Line
+DedupEngine::decryptStored(LineAddr slot)
+{
+    const Line *ciphertext = device_.peekPtr(slot);
+    const Line &pad = padFor(slot, effectiveCounter(slot));
+    return ciphertext ? (*ciphertext ^ pad) : pad;
 }
 
 bool
@@ -337,7 +482,8 @@ DedupEngine::references(LineAddr init_addr, LineAddr slot) const
 
 DetectOutcome
 DedupEngine::detect(const Line &plaintext, Time now, bool allow_nvm_fill,
-                    const std::uint64_t *precomputed_hash)
+                    const std::uint64_t *precomputed_hash,
+                    const StrongFp *precomputed_strong)
 {
     DetectOutcome out;
     {
@@ -380,9 +526,41 @@ DedupEngine::detect(const Line &plaintext, Time now, bool allow_nvm_fill,
             }
         }
         out.done = t;
+        detects_.increment();
+        detectPicoseconds_ += out.done - now;
         return out;
     }
     out.authoritative = true;
+
+    // Resolve this write's detection tier once: a cryptographic
+    // fingerprinter (the Table I comparator) is trusted outright — the
+    // WeakOnly branch below, without the unsafe connotation — and any
+    // other policy resolves through the per-epoch adaptive state.
+    const DetectPolicy mode = fingerprinter_.cryptographic()
+        ? DetectPolicy::WeakOnly
+        : operationalDetectMode();
+
+    // The incoming line's strong fingerprint is computed (and charged)
+    // at most once per detection, lazily at the first candidate that
+    // needs it. A batch prepared in strong mode hands back the value it
+    // already pushed through the batched AES slot.
+    StrongFp incoming_fp;
+    bool incoming_fp_ready = false;
+    const auto incomingStrongFp = [&]() -> const StrongFp & {
+        if (!incoming_fp_ready) {
+            {
+                obs::StageTimer timer(stageSink(stageCycles_.digest));
+                incoming_fp = precomputed_strong
+                    ? *precomputed_strong
+                    : strongFingerprint(plaintext);
+            }
+            incoming_fp_ready = true;
+            strongFpComputes_.increment();
+            t += config_.timing.strongFpLine;
+            energy_ += config_.energy.strongFpLine;
+        }
+        return incoming_fp;
+    };
 
     // Probe newest-first: when a popular content's old records are
     // pinned at the reference cap, its freshest record is the one with
@@ -394,6 +572,28 @@ DedupEngine::detect(const Line &plaintext, Time now, bool allow_nvm_fill,
         const HashEntry &entry = chain[i];
         if (++probes > options_.maxChainProbe)
             break;
+
+        if (mode == DetectPolicy::WeakStrong && entry.strongValid &&
+            entry.reference != HashStore::kMaxReference) {
+            // Strong tier: one 128-bit compare replaces the candidate's
+            // confirmation read. Unequal fingerprints *prove* the
+            // contents differ; equal ones are trusted the way hardware
+            // would trust them — the kernel's collision rate is
+            // negligible, including against CRC-forged inputs.
+            const bool fp_equal = incomingStrongFp() == entry.strongFp;
+            t += config_.timing.lineCompare;
+            energy_ += config_.energy.compareLine;
+            confirmReadsAvoided_.increment();
+            strongFpHits_.increment();
+            if (fp_equal) {
+                out.duplicate = true;
+                out.dupSlot = entry.realAddr;
+                break;
+            }
+            collisionMismatches_.increment();
+            continue;
+        }
+
         // Fused compare against the stored ciphertext — equivalent to
         // decrypting and comparing, with no 256 B temporaries.
         const bool matches = storedEquals(entry.realAddr, plaintext);
@@ -404,42 +604,72 @@ DedupEngine::detect(const Line &plaintext, Time now, bool allow_nvm_fill,
                 missedBySaturation_.increment();
             continue;
         }
-        const bool confirm =
-            options_.confirmByRead && !fingerprinter_.cryptographic();
-        if (confirm) {
-            // Read the candidate and compare byte-by-byte; the OTP for
-            // the decryption is generated while the read is in flight.
-            // Only the read's timing matters — the compare already ran
-            // against the functional store.
-            const Time counter_latency = chargeCounterAccess(entry.realAddr,
-                                                             t);
-            const NvmTiming access = device_.readTimed(entry.realAddr, t);
-            const Time otp_ready =
-                t + counter_latency + config_.timing.aesLine;
-            energy_ += config_.energy.aesLine();
-            t = std::max(access.complete, otp_ready) +
-                config_.timing.lineCompare;
-            energy_ += config_.energy.compareLine;
-            ++out.confirmReads;
-            if (matches) {
-                out.duplicate = true;
-                out.dupSlot = entry.realAddr;
-                break;
-            }
-            collisionMismatches_.increment();
-        } else {
+        if (mode == DetectPolicy::WeakOnly) {
             // Trusted fingerprint: either the cryptographic comparator
             // (collision-free in practice) or the unsafe CRC ablation.
-            // The functional comparison below only counts the silent
-            // corruptions trusting the digest would cause.
+            // The functional comparison above only counts the silent
+            // corruptions trusting the digest causes.
             out.duplicate = true;
             out.dupSlot = entry.realAddr;
             if (!matches)
                 unsafeCorruptions_.increment();
             break;
         }
+
+        // Confirmation read (ConfirmRead mode, or a WeakStrong
+        // candidate whose fingerprint is not cached yet): read the
+        // candidate and compare byte-by-byte; the OTP for the
+        // decryption is generated while the read is in flight. Only
+        // the read's timing matters — the compare already ran against
+        // the functional store.
+        const Time counter_latency = chargeCounterAccess(entry.realAddr,
+                                                         t);
+        const NvmTiming access = device_.readTimed(entry.realAddr, t);
+        const Time otp_ready =
+            t + counter_latency + config_.timing.aesLine;
+        energy_ += config_.energy.aesLine();
+        t = std::max(access.complete, otp_ready) +
+            config_.timing.lineCompare;
+        energy_ += config_.energy.compareLine;
+        ++out.confirmReads;
+        confirmReads_.increment();
+
+        if (mode == DetectPolicy::WeakStrong) {
+            // Lazy fill: the line just read (and decrypted) streams
+            // through the fingerprint engine and the result lands in
+            // the candidate's record — a posted metadata update, off
+            // the critical path. A matching candidate's fingerprint is
+            // the incoming line's own; a mismatching one is computed
+            // from the stored content.
+            StrongFp cached;
+            if (matches) {
+                cached = incomingStrongFp();
+            } else {
+                {
+                    obs::StageTimer timer(stageSink(stageCycles_.digest));
+                    cached = strongFingerprint(
+                        decryptStored(entry.realAddr));
+                }
+                strongFpComputes_.increment();
+                t += config_.timing.strongFpLine;
+                energy_ += config_.energy.strongFpLine;
+            }
+            hashStore_.setStrongFp(out.hash, entry.realAddr, cached);
+            strongFpCaches_.increment();
+            metadata_.postUpdate(MetadataTable::HashStore,
+                                 hashIndex(out.hash), t);
+        }
+
+        if (matches) {
+            out.duplicate = true;
+            out.dupSlot = entry.realAddr;
+            break;
+        }
+        collisionMismatches_.increment();
     }
     out.done = t;
+    detects_.increment();
+    detectPicoseconds_ += out.done - now;
     return out;
 }
 
@@ -494,6 +724,7 @@ DedupEngine::commitDuplicate(LineAddr init_addr, const DetectOutcome &detect,
     if (!detect.duplicate)
         panic("commitDuplicate without a confirmed duplicate");
 
+    noteCommitForEpoch(true);
     obs::StageTimer timer(stageSink(stageCycles_.commit));
     WriteCommit commit;
     commit.slot = detect.dupSlot;
@@ -535,6 +766,7 @@ WriteCommit
 DedupEngine::commitUnique(LineAddr init_addr, const Line &plaintext,
                           std::uint64_t hash, Time now, Time encrypt_ready)
 {
+    noteCommitForEpoch(false);
     obs::StageTimer timer(stageSink(stageCycles_.commit));
     WriteCommit commit;
     Time t = now;

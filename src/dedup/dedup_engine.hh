@@ -55,6 +55,36 @@ namespace dewrite {
 
 class NvmDevice;
 
+/**
+ * How a weak-fingerprint (CRC-32) match is resolved into a duplicate
+ * verdict (DESIGN.md §5j). Cryptographic fingerprinters (MD5/SHA-1)
+ * are trusted outright and ignore this policy, as before.
+ */
+enum class DetectPolicy
+{
+    /** The paper's scheme: read the candidate line and compare. */
+    ConfirmRead = 0,
+    /** Trust the CRC. Saves the confirmation entirely but silently
+     *  corrupts data on a collision — ablation only. */
+    WeakOnly = 1,
+    /** Two-tier: compare 128-bit strong fingerprints cached in the
+     *  hash store; fall back to a confirmation read (which also
+     *  caches the fingerprint) when the candidate's is not valid. */
+    WeakStrong = 2,
+    /** Per-epoch choice between ConfirmRead and WeakStrong from the
+     *  observed duplicate ratio, with hysteresis. */
+    Adaptive = 3,
+};
+
+/** Stable identifier of @p policy ("confirm-read", "weak-only", ...). */
+const char *detectPolicyName(DetectPolicy policy);
+
+/** DEWRITE_DETECT: detection policy, default confirm-read. */
+DetectPolicy detectPolicyFromEnv();
+
+/** DEWRITE_DETECT_EPOCH: adaptive epoch length in writes. */
+std::uint64_t detectEpochFromEnv();
+
 /** Result of duplication detection for one incoming line. */
 struct DetectOutcome
 {
@@ -92,12 +122,14 @@ class DedupEngine
     struct Options
     {
         /**
-         * Confirm CRC matches by reading and comparing the candidate
-         * line (the paper's design). Disabling trusts the 32-bit hash,
-         * which saves the confirmation read but silently corrupts data
-         * on a collision — the ablation quantifies both effects.
+         * How weak-fingerprint matches are resolved (DESIGN.md §5j).
+         * ConfirmRead is the paper's design and the default; WeakOnly
+         * is the unsafe ablation that trusts the 32-bit hash;
+         * WeakStrong compares cached 128-bit strong fingerprints;
+         * Adaptive switches between ConfirmRead and WeakStrong per
+         * epoch from the observed duplicate ratio.
          */
-        bool confirmByRead = true;
+        DetectPolicy detect = DetectPolicy::ConfirmRead;
 
         /**
          * Bit-level write-reduction technique applied to the unique
@@ -132,6 +164,12 @@ class DedupEngine
          * writes.
          */
         unsigned counterBits = 28;
+
+        /**
+         * Adaptive-policy epoch length: commits per re-evaluation of
+         * the operational detection mode (DEWRITE_DETECT_EPOCH).
+         */
+        std::uint64_t detectEpochWrites = 4096;
     };
 
     DedupEngine(const SystemConfig &config, NvmDevice &device,
@@ -152,7 +190,8 @@ class DedupEngine
      */
     DetectOutcome detect(const Line &plaintext, Time now,
                          bool allow_nvm_fill,
-                         const std::uint64_t *precomputed_hash = nullptr);
+                         const std::uint64_t *precomputed_hash = nullptr,
+                         const StrongFp *precomputed_strong = nullptr);
 
     /**
      * Host-side preparation for a batch of writes about to be pushed
@@ -168,12 +207,21 @@ class DedupEngine
      *     stored line, then batch-generate the pads the members will
      *     need (confirm pads for candidates, a predicted in-place
      *     commit pad for empty chains) through the eight-wide AES
-     *     kernel into the pad cache.
+     *     kernel into the pad cache. In the weak+strong detection
+     *     mode, candidates with a valid cached fingerprint skip the
+     *     line/pad prefetch (no confirmation read will happen) and
+     *     the members' own strong fingerprints are batch-computed
+     *     into @p strong_fps in the same AES slot instead.
      * Purely host-side: simulated timing, energy, and metadata state
      * are untouched, so results are byte-identical with or without it.
+     * @p strong_fps/@p strong_ready (arrays of @p count, may be null)
+     * return the precomputed strong fingerprints; pass each flagged
+     * member's back to detect() as @p precomputed_strong.
      */
     void prepareBatch(const CtrlWriteRequest *requests, std::size_t count,
-                      std::uint64_t *hashes);
+                      std::uint64_t *hashes,
+                      StrongFp *strong_fps = nullptr,
+                      std::uint8_t *strong_ready = nullptr);
 
     /**
      * Commits a write whose content detect() confirmed at
@@ -260,7 +308,36 @@ class DedupEngine
     {
         return missedBySaturation_.value();
     }
+    std::uint64_t confirmReads() const { return confirmReads_.value(); }
+    std::uint64_t confirmReadsAvoided() const
+    {
+        return confirmReadsAvoided_.value();
+    }
+    std::uint64_t strongFpComputes() const
+    {
+        return strongFpComputes_.value();
+    }
+    std::uint64_t strongFpHits() const { return strongFpHits_.value(); }
+    std::uint64_t strongFpCaches() const
+    {
+        return strongFpCaches_.value();
+    }
+    std::uint64_t detectModeSwitches() const
+    {
+        return detectModeSwitches_.value();
+    }
     /** @} */
+
+    /**
+     * The detection mode writes currently run under: the configured
+     * policy, resolved per epoch when that policy is Adaptive (never
+     * Adaptive itself).
+     */
+    DetectPolicy operationalDetectMode() const
+    {
+        return options_.detect == DetectPolicy::Adaptive ? adaptiveMode_
+                                                         : options_.detect;
+    }
 
     /** Sentinel realAddr: "remapped to nothing" (see DESIGN.md §5). */
     static constexpr LineAddr kNoData = kInvalidAddr;
@@ -329,6 +406,23 @@ class DedupEngine
      */
     std::uint64_t peekBumpedCounter(LineAddr slot) const;
 
+    /**
+     * Adaptive-policy epoch accounting: every commit feeds the
+     * duplicate ratio; on epoch end the operational mode is
+     * re-evaluated with hysteresis (DESIGN.md §5j).
+     */
+    void noteCommitForEpoch(bool duplicate);
+
+    /** Re-evaluates adaptiveMode_ from the closing epoch's ratio. */
+    void rollDetectEpoch();
+
+    /**
+     * The slot's stored content, decrypted host-side (an unwritten
+     * slot reads as zero, whose decryption is the pad itself) — for
+     * caching a mismatching candidate's strong fingerprint.
+     */
+    Line decryptStored(LineAddr slot);
+
     /** Stage-cycle sink for @p cycles, or null when profiling is off. */
     std::uint64_t *
     stageSink(std::uint64_t &cycles)
@@ -380,6 +474,26 @@ class DedupEngine
     Counter missedByPna_;
     Counter missedBySaturation_;
     Counter counterWraps_;
+
+    /** @{ Two-tier detection state and telemetry (DESIGN.md §5j). */
+    /** Adaptive enter-WeakStrong threshold on the epoch dup ratio. */
+    static constexpr double kEnterStrongRatio = 0.30;
+    /** Adaptive exit-WeakStrong threshold (hysteresis band below). */
+    static constexpr double kExitStrongRatio = 0.20;
+
+    DetectPolicy adaptiveMode_ = DetectPolicy::ConfirmRead;
+    std::uint64_t epochWrites_ = 0;
+    std::uint64_t epochDups_ = 0;
+
+    Counter confirmReads_;
+    Counter confirmReadsAvoided_;
+    Counter strongFpComputes_;
+    Counter strongFpHits_;
+    Counter strongFpCaches_;
+    Counter detectModeSwitches_;
+    Counter detects_;
+    std::uint64_t detectPicoseconds_ = 0;
+    /** @} */
 };
 
 } // namespace dewrite

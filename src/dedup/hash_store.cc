@@ -184,6 +184,35 @@ HashStore::dropReference(std::uint64_t hash, LineAddr real_addr)
     return true;
 }
 
+void
+HashStore::setStrongFp(std::uint64_t hash, LineAddr real_addr,
+                       const StrongFp &fp)
+{
+    const Locator loc = locate(hash, real_addr);
+    if (loc.entryIdx == kNpos)
+        panic("hash store: setStrongFp on absent record (hash 0x%llx, "
+              "slot %llu)",
+              static_cast<unsigned long long>(hash),
+              static_cast<unsigned long long>(real_addr));
+    HashEntry &entry =
+        entryAt(chains_.valueAt(loc.chainIdx), loc.entryIdx);
+    entry.strongFp = fp;
+    entry.strongValid = true;
+}
+
+const StrongFp *
+HashStore::strongFpOf(std::uint64_t hash, LineAddr real_addr) const
+{
+    const Locator loc = locate(hash, real_addr);
+    if (loc.entryIdx == kNpos)
+        return nullptr;
+    const HashEntry &entry =
+        const_cast<HashStore *>(this)->entryAt(
+            const_cast<Chain &>(chains_.valueAt(loc.chainIdx)),
+            loc.entryIdx);
+    return entry.strongValid ? &entry.strongFp : nullptr;
+}
+
 std::uint8_t
 HashStore::reference(std::uint64_t hash, LineAddr real_addr) const
 {

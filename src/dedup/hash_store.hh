@@ -29,14 +29,23 @@
 #include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "crypto/strong_fingerprint.hh"
 
 namespace dewrite {
 
-/** One <hash, realAddr, reference> record. */
+/**
+ * One <hash, realAddr, reference> record, plus the lazily cached
+ * strong fingerprint of the slot's content (DESIGN.md §5j): invalid
+ * on insert, filled by the engine on the first weak-match
+ * confirmation, and implicitly invalidated on rewrite because a
+ * rewritten slot's record is always dropped and re-inserted.
+ */
 struct HashEntry
 {
     LineAddr realAddr;
     std::uint8_t reference;
+    bool strongValid = false; //!< strongFp caches the slot's content fp.
+    StrongFp strongFp{};      //!< Meaningful only while strongValid.
 };
 
 /**
@@ -109,6 +118,24 @@ class HashStore
 
     /** Current reference count, or 0 if the record is absent. */
     std::uint8_t reference(std::uint64_t hash, LineAddr real_addr) const;
+
+    /**
+     * Caches @p fp as the strong fingerprint of (@p hash,
+     * @p real_addr)'s content and marks it valid. The record must
+     * exist. Also the seeded-damage hook: the auditor test writes a
+     * wrong fingerprint here to prove the
+     * strong-fp-matches-stored-line invariant fires.
+     */
+    void setStrongFp(std::uint64_t hash, LineAddr real_addr,
+                     const StrongFp &fp);
+
+    /**
+     * The cached strong fingerprint of (@p hash, @p real_addr), or
+     * nullptr when the record is absent or its fingerprint has not
+     * been computed yet.
+     */
+    const StrongFp *strongFpOf(std::uint64_t hash,
+                               LineAddr real_addr) const;
 
     /**
      * Recovery-only: installs a record with an explicit reference

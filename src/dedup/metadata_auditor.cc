@@ -51,6 +51,8 @@ auditInvariantName(AuditInvariant invariant)
         return "fsm-matches-data-slots";
       case AuditInvariant::CounterSingleHome:
         return "counter-single-home";
+      case AuditInvariant::StrongFpMatchesStoredLine:
+        return "strong-fp-matches-stored-line";
     }
     return "unknown-invariant";
 }
@@ -198,6 +200,31 @@ MetadataAuditor::check() const
                 "the inverted hash table",
                 u(hash), u(entry.realAddr));
             report(std::move(v));
+            return;
+        }
+        // 3b. A valid strong-fingerprint cache must equal the
+        //     fingerprint of the slot's stored content — the property
+        //     the weak+strong tier trusts instead of reading the line.
+        //     decryptStored only touches the host-side pad memo, so the
+        //     const_cast is observationally pure.
+        if (entry.strongValid) {
+            const StrongFp stored = strongFingerprint(
+                const_cast<DedupEngine &>(engine_).decryptStored(
+                    entry.realAddr));
+            if (!(stored == entry.strongFp)) {
+                AuditViolation v;
+                v.invariant = AuditInvariant::StrongFpMatchesStoredLine;
+                v.slot = entry.realAddr;
+                v.expected = stored.lo;
+                v.actual = entry.strongFp.lo;
+                v.detail = formatDetail(
+                    "slot %llu caches strong fingerprint "
+                    "%016llx%016llx but its stored content "
+                    "fingerprints %016llx%016llx",
+                    u(entry.realAddr), u(entry.strongFp.hi),
+                    u(entry.strongFp.lo), u(stored.hi), u(stored.lo));
+                report(std::move(v));
+            }
         }
     });
 

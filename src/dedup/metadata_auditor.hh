@@ -61,6 +61,11 @@ enum class AuditInvariant
      *  overflow entries may exist only while both the mapping and
      *  inverted-hash entries of the slot are occupied. */
     CounterSingleHome,
+    /** A hash-store record whose strong-fingerprint flag is valid must
+     *  cache exactly the fingerprint of the slot's stored (decrypted)
+     *  content — a stale cache would let the weak+strong tier merge
+     *  distinct data (DESIGN.md §5j). */
+    StrongFpMatchesStoredLine,
 };
 
 /** Stable identifier of @p invariant for reports and tests. */

@@ -113,6 +113,14 @@ RecoveryManager::rebuild()
     engine_.hashStore_.reserve(engine_.config_.memory.workingSetHint());
     engine_.fsm_ = FreeSpaceTable(engine_.config_.memory.numLines);
 
+    // Under the weak+strong policies the scan already streams every
+    // stored line past the controller, so the strong-fingerprint caches
+    // are rebuilt in the same pass — a fresh boot starts with warm
+    // fingerprints instead of re-paying one confirmation read each.
+    const bool rebuild_strong_fps =
+        engine_.options_.detect == DetectPolicy::WeakStrong ||
+        engine_.options_.detect == DetectPolicy::Adaptive;
+
     std::vector<LineAddr> orphaned;
     engine_.invertedHash().forEachDataSlot(
         [&](LineAddr slot, std::uint64_t hash) {
@@ -125,6 +133,12 @@ RecoveryManager::rebuild()
                 return;
             }
             engine_.hashStore_.restore(hash, slot, count);
+            if (rebuild_strong_fps) {
+                engine_.hashStore_.setStrongFp(
+                    hash, slot,
+                    strongFingerprint(engine_.decryptStored(slot)));
+                ++report.strongFpsRebuilt;
+            }
             engine_.fsm_.allocate(slot);
             ++report.recordsRebuilt;
         });

@@ -62,6 +62,8 @@ struct RecoveryReport
     std::uint64_t slotsScanned = 0;     //!< Inverted-hash data slots.
     std::uint64_t mappingsScanned = 0;  //!< Remapped logical lines.
     std::uint64_t recordsRebuilt = 0;   //!< Hash-store records restored.
+    std::uint64_t strongFpsRebuilt = 0; //!< Fingerprint caches rewarmed
+                                        //!< (weak+strong policies only).
 
     /**
      * Modelled wall-clock time of the recovery scan: reading the

@@ -14,6 +14,7 @@
 #include "common/crc32.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "dedup/dedup_engine.hh"
 #include "dedup/metadata_auditor.hh"
 #include "obs/stage_profile.hh"
 #include "obs/telemetry.hh"
@@ -83,19 +84,63 @@ resultFingerprint(const ExperimentResult &cell)
                  sig.size());
 }
 
+std::string
+detectionSignature(const ExperimentResult &cell)
+{
+    std::string sig;
+    char buf[128];
+    auto addU64 = [&](const char *name, std::uint64_t v) {
+        std::snprintf(buf, sizeof buf, "%s=%" PRIu64 ";", name, v);
+        sig += buf;
+    };
+
+    // The scheme name is deliberately absent: it embeds the detection
+    // policy, and the whole point is comparing *across* policies.
+    sig += cell.app + ";";
+    const RunResult &r = cell.run;
+    addU64("events", r.events);
+    addU64("writes", r.writes);
+    addU64("reads", r.reads);
+    addU64("writesEliminated", r.writesEliminated);
+    addU64("bitsProgrammed", r.bitsProgrammed);
+    // Decision-level dedup counters only. Timing, energy, and raw NVM
+    // line traffic are excluded on purpose: a policy that skips
+    // confirmation reads touches fewer metadata blocks, so cache
+    // evictions (and thus metadata write-backs) differ while every
+    // dedup verdict is identical.
+    for (const char *stat :
+         { "duplicate_commits", "unique_commits", "silent_stores",
+           "collision_mismatches", "missed_by_saturation",
+           "missed_by_pna", "unsafe_corruptions" }) {
+        addU64(stat,
+               static_cast<std::uint64_t>(cell.stats.get(stat)));
+    }
+    return sig;
+}
+
+std::uint32_t
+detectionFingerprint(const ExperimentResult &cell)
+{
+    const std::string sig = detectionSignature(cell);
+    return crc32(reinterpret_cast<const std::uint8_t *>(sig.data()),
+                 sig.size());
+}
+
 std::uint64_t
 experimentEvents()
 {
     // Every bench resolves its event budget here, so this is the
     // shared spot to validate the rest of the experiment environment:
     // a malformed DEWRITE_LOG, DEWRITE_AUDIT, DEWRITE_AUDIT_EPOCH,
-    // DEWRITE_BATCH, DEWRITE_STAGE_PROFILE, or DEWRITE_TELEMETRY_EVERY
-    // dies before any cell runs (even when the value would never be
-    // read).
+    // DEWRITE_BATCH, DEWRITE_DETECT, DEWRITE_DETECT_EPOCH,
+    // DEWRITE_STAGE_PROFILE, or DEWRITE_TELEMETRY_EVERY dies before any
+    // cell runs (even when the value would never be read).
     logLevel();
     auditEnabled();
     auditEpochWrites();
     writeBatchSize();
+    detectPolicyFromEnv();
+    detectEpochFromEnv();
     obs::stageProfileEnabled();
     obs::TelemetryConfig::fromEnv();
     return envUint("DEWRITE_EVENTS", 120000, 1, kMaxExperimentEvents);

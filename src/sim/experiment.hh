@@ -52,6 +52,21 @@ std::string resultSignature(const ExperimentResult &cell);
 /** CRC-32 of resultSignature(). */
 std::uint32_t resultFingerprint(const ExperimentResult &cell);
 
+/**
+ * Canonical serialization of a cell's *decision-level* outcome only:
+ * the traffic counts and dedup verdict counters that depend purely on
+ * which writes were deduplicated, never on how long detection took or
+ * which metadata-cache blocks it warmed. Detection-policy ablations
+ * pin their parity on this: confirm-read and weak+strong resolve the
+ * same candidates to the same verdicts on collision-free traces, so
+ * their detection signatures must match byte-for-byte even though
+ * latency, energy, and NVM traffic legitimately differ.
+ */
+std::string detectionSignature(const ExperimentResult &cell);
+
+/** CRC-32 of detectionSignature(). */
+std::uint32_t detectionFingerprint(const ExperimentResult &cell);
+
 /** Upper bound accepted from DEWRITE_EVENTS (a guard against typos
  * requesting effectively-infinite runs, not a simulator limit). */
 constexpr std::uint64_t kMaxExperimentEvents = 1ULL << 40;

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * CRC-32 collision forging and the adversarial workload.
+ */
+
+#include "trace/collision_trace.hh"
+
+#include "common/check.hh"
+#include "common/crc32.hh"
+#include "common/logging.hh"
+
+namespace dewrite {
+
+namespace {
+
+/**
+ * Raw reflected CRC-32 register (IEEE polynomial) over @p data: init 0,
+ * no final XOR. The affine init/final parts of crc32() cancel when two
+ * equal-length messages are XORed, so a difference D satisfies
+ * crc32(A ^ D) == crc32(A) exactly when rawRegister(D) == 0.
+ */
+struct RawCrcTable
+{
+    std::uint32_t entries[256];
+
+    RawCrcTable()
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            entries[i] = c;
+        }
+    }
+};
+
+std::uint32_t
+rawRegister(const std::uint8_t *data, std::size_t size)
+{
+    static const RawCrcTable table;
+    std::uint32_t r = 0;
+    for (std::size_t i = 0; i < size; ++i)
+        r = (r >> 8) ^ table.entries[(r ^ data[i]) & 0xffu];
+    return r;
+}
+
+} // namespace
+
+Line
+forgeCrc32Collision(const Line &base, Rng &rng)
+{
+    // Difference layout: 252 arbitrary bytes, then the little-endian
+    // register value they leave. The reflected update consumes each of
+    // those four bytes with table index 0 (T[0] == 0), shifting the
+    // register to exactly zero — so rawRegister(diff) == 0 and
+    // base ^ diff collides with base under the full CRC-32.
+    Line diff;
+    for (std::size_t w = 0; w < kLineSize / 8; ++w)
+        diff.setWord64(w, rng.next64());
+    // Guarantee the difference is nonzero even for a pathological RNG.
+    diff.setByte(0, diff.byte(0) | 1);
+
+    const std::uint32_t r = rawRegister(diff.data(), kLineSize - 4);
+    diff.setByte(kLineSize - 4, static_cast<std::uint8_t>(r));
+    diff.setByte(kLineSize - 3, static_cast<std::uint8_t>(r >> 8));
+    diff.setByte(kLineSize - 2, static_cast<std::uint8_t>(r >> 16));
+    diff.setByte(kLineSize - 1, static_cast<std::uint8_t>(r >> 24));
+
+    const Line forged = base ^ diff;
+    DEWRITE_DCHECK(crc32(forged) == crc32(base),
+                   "forged difference failed to cancel the register");
+    return forged;
+}
+
+CollisionWorkload::CollisionWorkload(const CollisionTraceConfig &config,
+                                     std::uint64_t seed)
+    : config_(config), rng_(seed)
+{
+    if (config.anchorLines == 0)
+        fatal("collision trace needs at least one anchor line");
+    if (config.workingSetLines <= config.anchorLines)
+        fatal("collision trace working set must exceed its anchors");
+    if (config.collisionFraction < 0.0 || config.collisionFraction > 1.0)
+        fatal("collision fraction must be in [0, 1]");
+    image_.resize(config.workingSetLines);
+    valid_.assign(config.workingSetLines, 0);
+    writtenAddrs_.reserve(config.workingSetLines);
+}
+
+const Line *
+CollisionWorkload::expected(LineAddr addr) const
+{
+    if (addr >= image_.size() || !valid_[addr])
+        return nullptr;
+    return &image_[addr];
+}
+
+bool
+CollisionWorkload::next(MemEvent &event)
+{
+    event.isWrite = true;
+    event.instGap = rng_.nextExponential(50.0);
+
+    if (emitted_ < config_.anchorLines) {
+        // Anchor phase: immutable victims with distinct random content.
+        const LineAddr addr = nextFreshAddr_++;
+        Line content = Line::random(rng_);
+        content.setWord64(0, ++uniqueStamp_);
+        event.addr = addr;
+        event.data = content;
+    } else if (rng_.chance(config_.collisionFraction)) {
+        // Attack: forge a collision of a random anchor's live content
+        // and write it to a non-anchor address. The forged line always
+        // differs from the anchor, so a detector that trusts the weak
+        // hash merges distinct data.
+        const LineAddr victim = rng_.nextBelow(config_.anchorLines);
+        event.addr = config_.anchorLines +
+            rng_.nextBelow(config_.workingSetLines - config_.anchorLines);
+        event.data = forgeCrc32Collision(image_[victim], rng_);
+        ++collisionsForged_;
+    } else {
+        // Background noise: unique content over the non-anchor range,
+        // stamped so it never duplicates anything in the image.
+        event.addr = config_.anchorLines +
+            rng_.nextBelow(config_.workingSetLines - config_.anchorLines);
+        Line content = Line::random(rng_);
+        content.setWord64(0, ++uniqueStamp_);
+        event.data = content;
+    }
+
+    if (!valid_[event.addr]) {
+        valid_[event.addr] = 1;
+        // dewrite-analyze: allow(hot-path-purity) first-write bookkeeping into
+        // a capacity reserved up front; the hot edge is a member-name
+        // over-approximation (this generator feeds the controller, it
+        // does not run inside it)
+        writtenAddrs_.push_back(event.addr);
+    }
+    image_[event.addr] = event.data;
+    ++emitted_;
+    return true;
+}
+
+} // namespace dewrite

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Collision-adversarial workload: CRC-32 collisions by construction.
+ *
+ * The synthetic app catalog never produces a genuine CRC-32 collision
+ * (the per-app streams are too short for a 2^-32 event), so the unsafe
+ * weak-only detection mode looks harmless in every ordinary experiment.
+ * This generator manufactures the failure: CRC-32 is linear over GF(2),
+ * so for any line A one can forge a different line B with
+ * crc32(B) == crc32(A) by XORing in a difference D whose raw (init 0,
+ * no final XOR) CRC register is zero. Such a D is built directly —
+ * 252 arbitrary bytes followed by the little-endian register value they
+ * leave, which the reflected CRC update then cancels to zero.
+ *
+ * The stream writes a set of immutable anchor lines, then interleaves
+ * unique writes with forged-collision writes aimed at random anchors.
+ * A detection mode that confirms matches (by read or by strong
+ * fingerprint) stores the forged content correctly; weak-only merges it
+ * into the anchor's slot and the read-back is silently wrong. The
+ * generator mirrors the expected image so harnesses can prove either
+ * outcome (DESIGN.md §5j).
+ */
+
+#ifndef DEWRITE_TRACE_COLLISION_TRACE_HH
+#define DEWRITE_TRACE_COLLISION_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/line.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace dewrite {
+
+/**
+ * Forges a line different from @p base with the same CRC-32, using
+ * @p rng for the arbitrary body of the difference. The forged line
+ * differs from @p base in at least one byte, always.
+ */
+Line forgeCrc32Collision(const Line &base, Rng &rng);
+
+/** Tunables of the adversarial stream. */
+struct CollisionTraceConfig
+{
+    /** Immutable victim lines written before the attack begins. */
+    std::uint64_t anchorLines = 64;
+
+    /** Total addressable working set (anchors live at its base). */
+    std::uint64_t workingSetLines = 1024;
+
+    /** Fraction of post-anchor writes that are forged collisions. */
+    double collisionFraction = 0.25;
+};
+
+class CollisionWorkload : public TraceSource
+{
+  public:
+    CollisionWorkload(const CollisionTraceConfig &config,
+                      std::uint64_t seed);
+
+    /** Unbounded: anchors first, then the adversarial mix. */
+    bool next(MemEvent &event) override;
+
+    /**
+     * The content a correct system must return for @p addr, or nullptr
+     * if the stream has not written it. Harnesses compare controller
+     * read-backs against this to detect silent weak-only corruption.
+     */
+    const Line *expected(LineAddr addr) const;
+
+    /** Addresses the stream has written so far, in first-write order. */
+    const std::vector<LineAddr> &writtenAddrs() const
+    {
+        return writtenAddrs_;
+    }
+
+    /** Forged-collision writes emitted so far. */
+    std::uint64_t collisionsForged() const { return collisionsForged_; }
+
+  private:
+    CollisionTraceConfig config_;
+    Rng rng_;
+    std::vector<Line> image_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<LineAddr> writtenAddrs_;
+    std::uint64_t emitted_ = 0;
+    std::uint64_t nextFreshAddr_ = 0;
+    std::uint64_t uniqueStamp_ = 0;
+    std::uint64_t collisionsForged_ = 0;
+};
+
+} // namespace dewrite
+
+#endif // DEWRITE_TRACE_COLLISION_TRACE_HH

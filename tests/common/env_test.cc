@@ -11,6 +11,8 @@
 
 #include <cstdlib>
 
+#include "dedup/dedup_engine.hh"
+
 namespace dewrite {
 namespace {
 
@@ -103,6 +105,94 @@ TEST(EnvUintDeathTest, RejectsMalformedAndOutOfRange)
         ScopedEnv env(kVar, bad);
         EXPECT_EXIT(envUint(kVar, 0, 1, 10),
                     ::testing::ExitedWithCode(1), kVar)
+            << "value: \"" << bad << '"';
+    }
+}
+
+TEST(EnvChoiceTest, FallbackWhenUnset)
+{
+    ::unsetenv(kVar);
+    static const char *const names[] = { "alpha", "beta", "gamma" };
+    EXPECT_EQ(envChoice(kVar, 2, names, 3), 2u);
+}
+
+TEST(EnvChoiceTest, MatchesExactNames)
+{
+    static const char *const names[] = { "alpha", "beta", "gamma" };
+    {
+        ScopedEnv env(kVar, "alpha");
+        EXPECT_EQ(envChoice(kVar, 2, names, 3), 0u);
+    }
+    {
+        ScopedEnv env(kVar, "gamma");
+        EXPECT_EQ(envChoice(kVar, 0, names, 3), 2u);
+    }
+}
+
+TEST(EnvChoiceDeathTest, RejectsUnknownAndListsTheChoices)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    static const char *const names[] = { "alpha", "beta" };
+    for (const char *bad : { "Alpha", "alph", "", " alpha", "2" }) {
+        ScopedEnv env(kVar, bad);
+        EXPECT_EXIT(envChoice(kVar, 0, names, 2),
+                    ::testing::ExitedWithCode(1), "alpha, beta")
+            << "value: \"" << bad << '"';
+    }
+}
+
+TEST(DetectKnobTest, PolicyDefaultsToConfirmRead)
+{
+    ::unsetenv("DEWRITE_DETECT");
+    EXPECT_EQ(detectPolicyFromEnv(), DetectPolicy::ConfirmRead);
+}
+
+TEST(DetectKnobTest, PolicyParsesEveryName)
+{
+    {
+        ScopedEnv env("DEWRITE_DETECT", "confirm-read");
+        EXPECT_EQ(detectPolicyFromEnv(), DetectPolicy::ConfirmRead);
+    }
+    {
+        ScopedEnv env("DEWRITE_DETECT", "weak-only");
+        EXPECT_EQ(detectPolicyFromEnv(), DetectPolicy::WeakOnly);
+    }
+    {
+        ScopedEnv env("DEWRITE_DETECT", "weak-strong");
+        EXPECT_EQ(detectPolicyFromEnv(), DetectPolicy::WeakStrong);
+    }
+    {
+        ScopedEnv env("DEWRITE_DETECT", "adaptive");
+        EXPECT_EQ(detectPolicyFromEnv(), DetectPolicy::Adaptive);
+    }
+}
+
+TEST(DetectKnobDeathTest, PolicyRejectsUnknownNames)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    for (const char *bad : { "WeakStrong", "strong", "2", "" }) {
+        ScopedEnv env("DEWRITE_DETECT", bad);
+        EXPECT_EXIT(detectPolicyFromEnv(),
+                    ::testing::ExitedWithCode(1), "DEWRITE_DETECT")
+            << "value: \"" << bad << '"';
+    }
+}
+
+TEST(DetectKnobTest, EpochDefaultsAndParses)
+{
+    ::unsetenv("DEWRITE_DETECT_EPOCH");
+    EXPECT_EQ(detectEpochFromEnv(), 4096u);
+    ScopedEnv env("DEWRITE_DETECT_EPOCH", "128");
+    EXPECT_EQ(detectEpochFromEnv(), 128u);
+}
+
+TEST(DetectKnobDeathTest, EpochRejectsOutOfRangeValues)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    for (const char *bad : { "0", "63", "1048577", "lots" }) {
+        ScopedEnv env("DEWRITE_DETECT_EPOCH", bad);
+        EXPECT_EXIT(detectEpochFromEnv(),
+                    ::testing::ExitedWithCode(1), "DEWRITE_DETECT_EPOCH")
             << "value: \"" << bad << '"';
     }
 }

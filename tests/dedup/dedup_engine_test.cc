@@ -408,7 +408,8 @@ class TinyCounterTest : public DedupEngineTest
   protected:
     TinyCounterTest()
         : tinyEngine_(config(), device_, metadata_, cme_,
-                      DedupEngine::Options{ true, nullptr, 4,
+                      DedupEngine::Options{ DetectPolicy::ConfirmRead,
+                                            nullptr, 4,
                                             HashFunction::Crc32,
                                             /*counterBits=*/4 })
     {
@@ -463,7 +464,7 @@ class UnsafeDedupTest : public DedupEngineTest
   protected:
     UnsafeDedupTest()
         : unsafeEngine_(config(), device_, metadata_, cme_,
-                        DedupEngine::Options{ /*confirmByRead=*/false,
+                        DedupEngine::Options{ DetectPolicy::WeakOnly,
                                               nullptr })
     {
     }

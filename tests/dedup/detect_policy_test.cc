@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Two-tier detection tests (DESIGN.md §5j): fingerprint caching and
+ * invalidation through the record lifecycle, confirm-read elimination,
+ * decision parity with the paper's confirm-read mode, the adaptive
+ * per-epoch controller, and fingerprint rewarming through recovery.
+ */
+
+#include "dedup/dedup_engine.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "dedup/metadata_auditor.hh"
+#include "dedup/recovery.hh"
+#include "nvm/nvm_device.hh"
+#include "trace/collision_trace.hh"
+
+namespace dewrite {
+namespace {
+
+const SystemConfig &
+config()
+{
+    static SystemConfig instance = [] {
+        SystemConfig c;
+        c.memory.numLines = 1 << 16;
+        return c;
+    }();
+    return instance;
+}
+
+AesKey
+key()
+{
+    AesKey k{};
+    k[5] = 0x77;
+    return k;
+}
+
+/** An engine stack under one detection policy, with a write helper. */
+class PolicyEngine
+{
+  public:
+    explicit PolicyEngine(DedupEngine::Options options)
+        : device_(config()), cme_(key()),
+          metadata_(config(), device_, config().memory.numLines),
+          engine_(config(), device_, metadata_, cme_, options)
+    {
+    }
+
+    explicit PolicyEngine(DetectPolicy policy)
+        : PolicyEngine(DedupEngine::Options{ policy, nullptr, 4,
+                                             HashFunction::Crc32 })
+    {
+    }
+
+    /** Full write; returns the detection outcome for assertions. */
+    DetectOutcome
+    write(LineAddr addr, const Line &data)
+    {
+        const DetectOutcome det = engine_.detect(data, now_, true);
+        const WriteCommit commit = det.duplicate
+            ? engine_.commitDuplicate(addr, det, det.done)
+            : engine_.commitUnique(addr, data, det.hash, det.done,
+                                   det.done + config().timing.aesLine);
+        now_ = commit.done;
+        return det;
+    }
+
+    Line
+    read(LineAddr addr)
+    {
+        const ReadOutcome out = engine_.read(addr, now_);
+        now_ = out.done;
+        return out.data;
+    }
+
+    DedupEngine &engine() { return engine_; }
+
+  private:
+    NvmDevice device_;
+    CounterModeEngine cme_;
+    MetadataCache metadata_;
+    DedupEngine engine_;
+    Time now_ = 0;
+};
+
+TEST(DetectPolicyTest, NamesRoundTrip)
+{
+    EXPECT_STREQ(detectPolicyName(DetectPolicy::ConfirmRead),
+                 "confirm-read");
+    EXPECT_STREQ(detectPolicyName(DetectPolicy::WeakOnly), "weak-only");
+    EXPECT_STREQ(detectPolicyName(DetectPolicy::WeakStrong),
+                 "weak-strong");
+    EXPECT_STREQ(detectPolicyName(DetectPolicy::Adaptive), "adaptive");
+}
+
+TEST(WeakStrongTest, FirstConfirmationCachesTheFingerprint)
+{
+    PolicyEngine pe(DetectPolicy::WeakStrong);
+    Rng rng(501);
+    const Line data = Line::random(rng);
+
+    // Unique insert: no candidate, nothing cached yet.
+    const DetectOutcome first = pe.write(1, data);
+    EXPECT_FALSE(first.duplicate);
+    EXPECT_EQ(pe.engine().strongFpCaches(), 0u);
+
+    // First weak match: the fingerprint is not cached, so this pays
+    // the confirmation read — and installs the fingerprint.
+    const DetectOutcome second = pe.write(2, data);
+    EXPECT_TRUE(second.duplicate);
+    EXPECT_EQ(second.confirmReads, 1u);
+    EXPECT_EQ(pe.engine().strongFpCaches(), 1u);
+    EXPECT_NE(pe.engine().hashStore().strongFpOf(second.hash, 1), nullptr);
+
+    // From now on the cached fingerprint answers: no more reads.
+    const DetectOutcome third = pe.write(3, data);
+    EXPECT_TRUE(third.duplicate);
+    EXPECT_EQ(third.confirmReads, 0u);
+    EXPECT_GE(pe.engine().confirmReadsAvoided(), 1u);
+    EXPECT_GE(pe.engine().strongFpHits(), 1u);
+}
+
+TEST(WeakStrongTest, ForgedCollisionCachesTheStoredFingerprint)
+{
+    PolicyEngine pe(DetectPolicy::WeakStrong);
+    Rng rng(502);
+    const Line base = Line::random(rng);
+    const Line forged = forgeCrc32Collision(base, rng);
+
+    pe.write(1, base);
+    // The forged line weak-matches slot 1 but the confirmation read
+    // refutes it; the mismatch still warms the victim's fingerprint
+    // (computed from the stored content, not the incoming line).
+    const DetectOutcome det = pe.write(2, forged);
+    EXPECT_FALSE(det.duplicate);
+    EXPECT_EQ(pe.engine().collisionMismatches(), 1u);
+    EXPECT_EQ(pe.engine().strongFpCaches(), 1u);
+    const StrongFp *cached =
+        pe.engine().hashStore().strongFpOf(det.hash, 1);
+    ASSERT_NE(cached, nullptr);
+    EXPECT_EQ(*cached, strongFingerprint(base));
+
+    // A later probe of the same chain resolves both candidates by
+    // fingerprint: the forged content dedups against slot 2, the
+    // victim's cached fingerprint rejects without a read.
+    const DetectOutcome again = pe.write(3, forged);
+    EXPECT_TRUE(again.duplicate);
+    EXPECT_EQ(pe.read(3), forged);
+    EXPECT_EQ(pe.read(1), base);
+    EXPECT_EQ(pe.engine().unsafeCorruptions(), 0u);
+}
+
+TEST(WeakStrongTest, RewriteInvalidatesTheCachedFingerprint)
+{
+    PolicyEngine pe(DetectPolicy::WeakStrong);
+    Rng rng(503);
+    const Line old_data = Line::random(rng);
+    const Line new_data = Line::random(rng);
+
+    pe.write(1, old_data);
+    pe.write(2, old_data); // Caches the fingerprint for slot 1.
+    ASSERT_NE(pe.engine().hashStore().strongFpOf(
+                  pe.engine().fingerprinter().fingerprint(old_data), 1),
+              nullptr);
+
+    // Rewriting both referents drops the record entirely; the content's
+    // next appearance starts from an invalid fingerprint again (slot
+    // contents are immutable while a record lives, so a cache can only
+    // die with its record — never go stale).
+    pe.write(1, new_data);
+    pe.write(2, new_data);
+    const std::uint64_t old_hash =
+        pe.engine().fingerprinter().fingerprint(old_data);
+    EXPECT_EQ(pe.engine().hashStore().strongFpOf(old_hash, 1), nullptr);
+
+    const DetectOutcome det = pe.write(3, old_data);
+    EXPECT_FALSE(det.duplicate);
+    EXPECT_EQ(pe.read(1), new_data);
+    EXPECT_EQ(pe.read(3), old_data);
+}
+
+TEST(WeakStrongTest, DecisionsMatchConfirmReadOnMixedStream)
+{
+    // The two confirming modes must produce byte-identical functional
+    // results on any collision-free stream; timing may differ, the
+    // dedup decisions and stored data may not.
+    PolicyEngine confirm(DetectPolicy::ConfirmRead);
+    PolicyEngine strong(DetectPolicy::WeakStrong);
+    Rng rng(504);
+    std::vector<Line> pool;
+    for (int i = 0; i < 600; ++i) {
+        const LineAddr addr = rng.nextBelow(96);
+        Line data;
+        if (!pool.empty() && rng.chance(0.55)) {
+            data = pool[rng.nextBelow(pool.size())];
+        } else {
+            data = Line::random(rng);
+            pool.push_back(data);
+        }
+        const DetectOutcome a = confirm.write(addr, data);
+        const DetectOutcome b = strong.write(addr, data);
+        ASSERT_EQ(a.duplicate, b.duplicate) << "write " << i;
+        ASSERT_EQ(a.dupSlot, b.dupSlot) << "write " << i;
+    }
+    EXPECT_EQ(confirm.engine().duplicateCommits(),
+              strong.engine().duplicateCommits());
+    EXPECT_EQ(confirm.engine().uniqueCommits(),
+              strong.engine().uniqueCommits());
+    for (LineAddr addr = 0; addr < 96; ++addr)
+        ASSERT_EQ(confirm.read(addr), strong.read(addr)) << addr;
+    // And the point of the tier: the strong engine confirmed far less.
+    EXPECT_LT(strong.engine().confirmReads(),
+              confirm.engine().confirmReads());
+    EXPECT_GT(strong.engine().confirmReadsAvoided(), 0u);
+}
+
+TEST(AdaptiveTest, DuplicateHeavyEpochsEnterStrongMode)
+{
+    PolicyEngine pe(DedupEngine::Options{ DetectPolicy::Adaptive, nullptr,
+                                          4, HashFunction::Crc32,
+                                          /*counterBits=*/28,
+                                          /*detectEpochWrites=*/64 });
+    EXPECT_EQ(pe.engine().operationalDetectMode(),
+              DetectPolicy::ConfirmRead);
+
+    Rng rng(505);
+    const Line popular = Line::random(rng);
+    pe.write(0, popular);
+    for (LineAddr addr = 1; addr < 130; ++addr)
+        pe.write(addr, popular);
+
+    // Nearly every commit was a duplicate, so the first epoch roll
+    // switches the operational mode to the strong tier...
+    EXPECT_EQ(pe.engine().operationalDetectMode(),
+              DetectPolicy::WeakStrong);
+    EXPECT_GE(pe.engine().detectModeSwitches(), 1u);
+    EXPECT_GT(pe.engine().confirmReadsAvoided(), 0u);
+
+    // ...and a duplicate-free phase drops it back (hysteresis: the
+    // ratio fell below the exit threshold).
+    for (LineAddr addr = 200; addr < 330; ++addr)
+        pe.write(addr, Line::random(rng));
+    EXPECT_EQ(pe.engine().operationalDetectMode(),
+              DetectPolicy::ConfirmRead);
+    EXPECT_GE(pe.engine().detectModeSwitches(), 2u);
+
+    // Adaptive only ever alternates between the two safe modes, so
+    // nothing can have been silently merged.
+    EXPECT_EQ(pe.engine().unsafeCorruptions(), 0u);
+}
+
+TEST(AdaptiveTest, ModeStaysPutInsideTheHysteresisBand)
+{
+    PolicyEngine pe(DedupEngine::Options{ DetectPolicy::Adaptive, nullptr,
+                                          4, HashFunction::Crc32,
+                                          /*counterBits=*/28,
+                                          /*detectEpochWrites=*/64 });
+    Rng rng(506);
+    const Line popular = Line::random(rng);
+    pe.write(0, popular);
+    for (LineAddr addr = 1; addr < 130; ++addr)
+        pe.write(addr, popular);
+    ASSERT_EQ(pe.engine().operationalDetectMode(),
+              DetectPolicy::WeakStrong);
+    const std::uint64_t switches = pe.engine().detectModeSwitches();
+
+    // A ~25% duplicate ratio sits between exit (20%) and entry (30%):
+    // the mode must not thrash.
+    LineAddr next = 1000;
+    for (int epoch = 0; epoch < 4; ++epoch) {
+        for (int i = 0; i < 64; ++i) {
+            if (i % 4 == 0)
+                pe.write(next++, popular);
+            else
+                pe.write(next++, Line::random(rng));
+        }
+        ASSERT_EQ(pe.engine().operationalDetectMode(),
+                  DetectPolicy::WeakStrong);
+    }
+    EXPECT_EQ(pe.engine().detectModeSwitches(), switches);
+}
+
+TEST(WeakStrongTest, RecoveryRewarmsTheFingerprintCaches)
+{
+    PolicyEngine pe(DetectPolicy::WeakStrong);
+    Rng rng(507);
+    std::vector<Line> contents;
+    for (LineAddr addr = 0; addr < 24; ++addr) {
+        const Line data = Line::random(rng);
+        contents.push_back(data);
+        pe.write(addr, data);
+    }
+
+    RecoveryManager recovery(pe.engine());
+    recovery.simulateCrashDamage();
+    const RecoveryReport report = recovery.rebuild();
+    EXPECT_EQ(report.recordsRebuilt, 24u);
+    EXPECT_EQ(report.strongFpsRebuilt, 24u);
+    EXPECT_FALSE(MetadataAuditor(pe.engine()).check().has_value());
+
+    // The rebuilt caches are live: the very first duplicate probe after
+    // recovery resolves by fingerprint, with no confirmation read.
+    const DetectOutcome det = pe.write(100, contents[5]);
+    EXPECT_TRUE(det.duplicate);
+    EXPECT_EQ(det.confirmReads, 0u);
+    EXPECT_GT(pe.engine().confirmReadsAvoided(), 0u);
+    for (LineAddr addr = 0; addr < 24; ++addr)
+        ASSERT_EQ(pe.read(addr), contents[addr]);
+}
+
+TEST(WeakStrongTest, ConfirmReadRecoveryLeavesCachesCold)
+{
+    PolicyEngine pe(DetectPolicy::ConfirmRead);
+    Rng rng(508);
+    for (LineAddr addr = 0; addr < 8; ++addr)
+        pe.write(addr, Line::random(rng));
+    RecoveryManager recovery(pe.engine());
+    recovery.simulateCrashDamage();
+    const RecoveryReport report = recovery.rebuild();
+    EXPECT_EQ(report.recordsRebuilt, 8u);
+    EXPECT_EQ(report.strongFpsRebuilt, 0u);
+}
+
+} // namespace
+} // namespace dewrite

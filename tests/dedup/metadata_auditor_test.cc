@@ -44,6 +44,10 @@ class MetadataAuditorTestPeer
     {
         return e.overflow_;
     }
+    static Line decryptStored(DedupEngine &e, LineAddr slot)
+    {
+        return e.decryptStored(slot);
+    }
 };
 
 namespace {
@@ -235,6 +239,41 @@ TEST_F(MetadataAuditorTest, DanglingMappingIsNamed)
               AuditInvariant::MappingTargetHoldsData);
     EXPECT_EQ(violation->logical, 100u);
     EXPECT_EQ(violation->slot, 3700u);
+}
+
+TEST_F(MetadataAuditorTest, WrongStrongFingerprintIsNamed)
+{
+    populate();
+    // Seed a *valid-flagged* fingerprint that does not match the slot's
+    // stored content: the two-tier detector would trust it and merge
+    // distinct lines, so the auditor must call it out by name.
+    const LineAddr slot = 30;
+    ASSERT_TRUE(engine_.invertedHash().holdsData(slot));
+    const std::uint64_t hash = engine_.invertedHash().hash(slot);
+    MetadataAuditorTestPeer::hashStore(engine_).setStrongFp(
+        hash, slot, StrongFp{ 0xdeadbeefu, 0xfeedfaceu });
+    const auto violation = MetadataAuditor(engine_).check();
+    ASSERT_TRUE(violation.has_value());
+    EXPECT_EQ(violation->invariant,
+              AuditInvariant::StrongFpMatchesStoredLine);
+    EXPECT_EQ(violation->slot, slot);
+    EXPECT_STREQ(auditInvariantName(violation->invariant),
+                 "strong-fp-matches-stored-line");
+}
+
+TEST_F(MetadataAuditorTest, CorrectStrongFingerprintAuditsClean)
+{
+    populate();
+    // The honest cache — the fingerprint of what the slot really
+    // stores — must not trip the new invariant.
+    const LineAddr slot = 30;
+    ASSERT_TRUE(engine_.invertedHash().holdsData(slot));
+    const std::uint64_t hash = engine_.invertedHash().hash(slot);
+    MetadataAuditorTestPeer::hashStore(engine_).setStrongFp(
+        hash, slot,
+        strongFingerprint(
+            MetadataAuditorTestPeer::decryptStored(engine_, slot)));
+    EXPECT_FALSE(MetadataAuditor(engine_).check().has_value());
 }
 
 TEST_F(MetadataAuditorTest, FirstViolationIsDeterministic)

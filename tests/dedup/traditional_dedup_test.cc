@@ -33,7 +33,8 @@ class TraditionalDedupTest : public ::testing::TestWithParam<HashFunction>
           device_(config_), cme_(defaultAesKey()),
           metadata_(config_, device_, config_.memory.numLines),
           engine_(config_, device_, metadata_, cme_,
-                  DedupEngine::Options{ true, nullptr, 4, GetParam() })
+                  DedupEngine::Options{ DetectPolicy::ConfirmRead, nullptr,
+                                        4, GetParam() })
     {
     }
 

@@ -87,6 +87,11 @@ def extract_metrics(path: str, report: object) -> dict:
             for shard in entry.get("shards_detail", []):
                 fingerprints[f"{key}/shard{shard['shard']}"] = \
                     int(shard["service_fingerprint"])
+    elif bench == "detection":
+        for entry in report.get("policies", []):
+            policy = entry["policy"]
+            throughputs[policy] = float(entry["events_per_sec"])
+            fingerprints[policy] = int(entry["detection_fingerprint"])
     elif "events_per_sec" in report:
         throughputs["overall"] = float(report["events_per_sec"])
 
@@ -306,6 +311,26 @@ def self_test() -> int:
     service_baseline = build_baseline([service_metrics])
     check_against_baseline("s.json", service_metrics,
                            service_baseline, 0.15)
+
+    # Detection reports gate per-policy throughput and the decision
+    # parity fingerprints.
+    detection = {"bench": "detection", "schema_version": 2,
+                 "events_per_cell": 6000, "threads": 1,
+                 "provenance": {"git_sha": "abc", "git_dirty": False,
+                                "host_cpus": 4, "knobs": {}},
+                 "policies": [{"policy": "confirm-read",
+                               "events_per_sec": 30000.0,
+                               "detection_fingerprint": 7},
+                              {"policy": "weak-strong",
+                               "events_per_sec": 40000.0,
+                               "detection_fingerprint": 7}]}
+    detection_metrics = extract_metrics("d.json", detection)
+    assert detection_metrics["throughputs"] == {"confirm-read": 30000.0,
+                                                "weak-strong": 40000.0}
+    assert detection_metrics["fingerprints"] == {"confirm-read": 7,
+                                                 "weak-strong": 7}
+    check_against_baseline("d.json", detection_metrics,
+                           build_baseline([detection_metrics]), 0.15)
 
     # History append-and-parse round trip.
     with tempfile.TemporaryDirectory() as tmp:

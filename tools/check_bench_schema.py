@@ -127,6 +127,71 @@ def check_throughput_payload(path: str, report: dict) -> None:
             fail(path, f"ratios[{name!r}] must be a non-negative number")
 
 
+def check_detection_payload(path: str, report: dict) -> None:
+    """BENCH_detection carries the per-policy sweep plus the decision
+    parity block pinning the confirming policies to confirm-read."""
+    if not _is_uint(report.get("adaptive_epoch_writes")) \
+            or report.get("adaptive_epoch_writes") < 1:
+        fail(path, "'adaptive_epoch_writes' must be a positive integer")
+
+    policies = report.get("policies")
+    if not isinstance(policies, list) or not policies:
+        fail(path, "'policies' must be a non-empty array")
+    names = set()
+    for entry in policies:
+        if not isinstance(entry, dict):
+            fail(path, "'policies' entries must be objects")
+        name = entry.get("policy")
+        if not isinstance(name, str) or not name:
+            fail(path, "policy entry missing 'policy' name")
+        names.add(name)
+        if not _is_uint(entry.get("detection_fingerprint")):
+            fail(path, f"policy {name!r}: 'detection_fingerprint' must "
+                       "be a non-negative integer")
+        for key in ("wall_seconds", "events_per_sec", "avg_detect_ns",
+                    "confirm_reads", "confirm_reads_avoided",
+                    "strong_fp_computes", "write_reduction"):
+            if not _is_number(entry.get(key)) or entry.get(key) < 0:
+                fail(path, f"policy {name!r}: {key!r} must be a "
+                           "non-negative number")
+    for required in ("confirm-read", "weak-only", "weak-strong",
+                     "adaptive"):
+        if required not in names:
+            fail(path, f"'policies' is missing the {required!r} sweep")
+
+    parity = report.get("parity")
+    if not isinstance(parity, dict):
+        fail(path, "'parity' must be an object")
+    if parity.get("reference") != "confirm-read":
+        fail(path, "parity 'reference' must be 'confirm-read'")
+    for key in ("weak_strong_matches", "adaptive_matches"):
+        if not isinstance(parity.get(key), bool):
+            fail(path, f"parity {key!r} must be a boolean")
+
+
+def check_detection_parity(path: str) -> None:
+    """One detection report: the weak+strong and adaptive policies must
+    have recorded the same decision fingerprint as confirm-read — the
+    two-tier scheme changes timing, never verdicts, on collision-free
+    traces."""
+    report = load_file(path)
+    check_report(path, report, check_name=False)
+    if report["bench"] != "detection":
+        fail(path, "single-file --parity expects a service or "
+                   "detection report")
+    prints = {e["policy"]: e["detection_fingerprint"]
+              for e in report["policies"]}
+    for policy in ("weak-strong", "adaptive"):
+        if prints[policy] != prints["confirm-read"]:
+            fail(path, f"parity mismatch for {policy!r}: "
+                       f"{prints[policy]} vs confirm-read "
+                       f"{prints['confirm-read']}")
+    parity = report["parity"]
+    for key in ("weak_strong_matches", "adaptive_matches"):
+        if not parity[key]:
+            fail(path, f"report flags {key}=false")
+
+
 def check_service_payload(path: str, report: dict) -> None:
     """BENCH_service carries the shard-scaling sweep plus the per-shard
     service/reference fingerprint pairs the parity mode verifies."""
@@ -207,6 +272,8 @@ def check_report(path: str, report: object,
         check_throughput_payload(path, report)
     elif bench == "service":
         check_service_payload(path, report)
+    elif bench == "detection":
+        check_detection_payload(path, report)
 
 
 def check_service_parity(path: str) -> None:
@@ -216,7 +283,8 @@ def check_service_parity(path: str) -> None:
     report = load_file(path)
     check_report(path, report, check_name=False)
     if report["bench"] != "service":
-        fail(path, "single-file --parity expects a service report")
+        fail(path, "single-file --parity expects a service or "
+                   "detection report")
     for entry in report["configs"]:
         for shard in entry["shards_detail"]:
             if shard["service_fingerprint"] \
@@ -415,6 +483,69 @@ def self_test() -> int:
         else:
             raise AssertionError(f"accepted broken report: {expect}")
 
+    def detection(strong: int = 7, adaptive: int = 7,
+                  strong_flag: bool = True) -> dict:
+        def policy(name: str, fingerprint: int) -> dict:
+            return {"policy": name, "cells": 20, "events": 120000,
+                    "wall_seconds": 0.5, "events_per_sec": 240000.0,
+                    "avg_detect_ns": 40.0, "confirm_reads": 100.0,
+                    "confirm_reads_avoided": 50.0,
+                    "strong_fp_computes": 60.0,
+                    "write_reduction": 0.4,
+                    "detection_fingerprint": fingerprint}
+        return {"bench": "detection", "schema_version": SCHEMA_VERSION,
+                "events_per_cell": 6000, "threads": 1,
+                "provenance": _provenance(),
+                "adaptive_epoch_writes": 512,
+                "policies": [policy("confirm-read", 7),
+                             policy("weak-only", 9),
+                             policy("weak-strong", strong),
+                             policy("adaptive", adaptive)],
+                "parity": {"reference": "confirm-read",
+                           "weak_strong_matches": strong_flag,
+                           "adaptive_matches": True,
+                           "weak_only_fingerprint": 9}}
+
+    check_report("BENCH_detection.json", detection())
+
+    broken_detection = [
+        ("'adaptive_epoch_writes' must be a positive integer",
+         {**detection(), "adaptive_epoch_writes": 0}),
+        ("'policies' must be a non-empty array",
+         {**detection(), "policies": []}),
+        ("missing 'policy' name",
+         {**detection(),
+          "policies": [{**detection()["policies"][0], "policy": ""}]}),
+        ("'detection_fingerprint' must be",
+         {**detection(),
+          "policies": [{**detection()["policies"][0],
+                        "detection_fingerprint": -1}]}),
+        ("'confirm_reads' must be a non-negative number",
+         {**detection(),
+          "policies": [{**p, "confirm_reads": -1.0}
+                       for p in detection()["policies"]]}),
+        ("missing the 'adaptive' sweep",
+         {**detection(),
+          "policies": detection()["policies"][:3]}),
+        ("'parity' must be an object",
+         {**detection(), "parity": None}),
+        ("parity 'reference' must be 'confirm-read'",
+         {**detection(),
+          "parity": {**detection()["parity"],
+                     "reference": "weak-only"}}),
+        ("parity 'adaptive_matches' must be a boolean",
+         {**detection(),
+          "parity": {**detection()["parity"],
+                     "adaptive_matches": "yes"}}),
+    ]
+    for expect, report in broken_detection:
+        try:
+            check_report("BENCH_detection.json", report)
+        except SchemaError as error:
+            assert expect in str(error), (expect, str(error))
+        else:
+            raise AssertionError(f"accepted broken report: {expect}")
+
     # Parity comparison: identical fingerprints pass, a drifted one is
     # named in the diagnostic.
     import tempfile
@@ -456,6 +587,36 @@ def self_test() -> int:
         else:
             raise AssertionError("accepted parity_ok=false report")
 
+        # Single-file detection parity: the confirming policies must
+        # match confirm-read, and the report's own flags must agree.
+        check_detection_parity(
+            dump("BENCH_detection.json", detection()))
+        try:
+            check_detection_parity(
+                dump("BENCH_detection.drift.json", detection(adaptive=8)))
+        except SchemaError as error:
+            assert "parity mismatch for 'adaptive'" in str(error), \
+                str(error)
+        else:
+            raise AssertionError("accepted drifted detection parity")
+        try:
+            check_detection_parity(
+                dump("BENCH_detection.flag.json",
+                     detection(strong_flag=False)))
+        except SchemaError as error:
+            assert "weak_strong_matches=false" in str(error), str(error)
+        else:
+            raise AssertionError("accepted weak_strong_matches=false")
+        try:
+            check_detection_parity(
+                dump("BENCH_throughput.json", throughput()))
+        except SchemaError as error:
+            assert "expects a service or detection report" in str(error), \
+                str(error)
+        else:
+            raise AssertionError("accepted a throughput report in "
+                                 "single-file parity mode")
+
     print("check_bench_schema self-test: OK")
     return 0
 
@@ -480,7 +641,10 @@ def main(argv: list[str] | None = None) -> int:
                              "(the batching strict-equivalence check); "
                              "with one service report, verify each "
                              "shard's service fingerprint against its "
-                             "recorded independent reference")
+                             "recorded independent reference; with one "
+                             "detection report, verify the weak+strong "
+                             "and adaptive decision fingerprints against "
+                             "confirm-read")
     args = parser.parse_args(argv)
 
     if args.self_test:
@@ -488,11 +652,16 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.parity:
         if len(args.parity) > 2:
-            parser.error("--parity takes one service report or two "
-                         "throughput reports")
+            parser.error("--parity takes one service or detection "
+                         "report, or two throughput reports")
         try:
             if len(args.parity) == 1:
-                check_service_parity(args.parity[0])
+                report = load_file(args.parity[0])
+                if isinstance(report, dict) \
+                        and report.get("bench") == "detection":
+                    check_detection_parity(args.parity[0])
+                else:
+                    check_service_parity(args.parity[0])
             else:
                 check_parity(args.parity[0], args.parity[1])
         except SchemaError as error:

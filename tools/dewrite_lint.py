@@ -147,6 +147,9 @@ KNOWN_KNOBS = frozenset({
     "DEWRITE_AUDIT",         # run-end + epoch metadata audits
     "DEWRITE_AUDIT_EPOCH",   # audit cadence in events
     "DEWRITE_BATCH",         # write-batch capacity (1..kMaxWriteBatch)
+    "DEWRITE_DETECT",        # detection policy (confirm-read/weak-only/
+                             # weak-strong/adaptive)
+    "DEWRITE_DETECT_EPOCH",  # adaptive-detection epoch in commits
     "DEWRITE_EVENTS",        # events per experiment cell
     "DEWRITE_LOG",           # log level
     "DEWRITE_SHARDS",        # service shard count (1..64)
@@ -166,7 +169,8 @@ KNOB_LITERAL_RE = re.compile(r'"(DEWRITE_[A-Z0-9_]*)"')
 # literal is inspected on the raw line (strip_code erases string
 # contents), but only when the call itself survives comment stripping.
 ENV_CALL_RE = re.compile(
-    r"\b(?P<call>envFlag|envUint|envRaw|getenv|setenv|unsetenv)\s*\(\s*"
+    r"\b(?P<call>envFlag|envUint|envChoice|envRaw|getenv|setenv|unsetenv"
+    r")\s*\(\s*"
     r"\"(?P<knob>DEWRITE_[A-Z0-9_]*)\"")
 ENV_KNOB_RULE = "env-knob-registry"
 ENV_KNOB_DIRS = ("src", "tests", "bench", "examples")
